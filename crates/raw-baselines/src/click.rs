@@ -1,0 +1,240 @@
+//! A Click-style modular software router on a conventional
+//! general-purpose processor — the baseline of Figure 7-1.
+//!
+//! "Another approach was explored in the Click Router … Unfortunately,
+//! conventional general-purpose processors do not provide enough of
+//! input/output bandwidth to carry out multigigabit routing" (§2.4). We
+//! model Click the way its own papers characterize it: a single CPU walks
+//! an element graph per packet, so forwarding is per-packet-cost bound,
+//! plus a per-byte cost for bus/memory movement. Element costs are
+//! calibrated so the standard IP configuration forwards minimum-size
+//! packets at ≈0.45 Mpps on a year-2000 700 MHz PC — the ≈0.23 Gbps bar
+//! the paper plots.
+
+/// One element of the Click graph with its per-packet cost.
+#[derive(Clone, Debug)]
+pub struct Element {
+    pub name: &'static str,
+    pub cycles: u64,
+}
+
+/// The modeled machine and element graph.
+#[derive(Clone, Debug)]
+pub struct ClickConfig {
+    pub clock_mhz: u64,
+    /// Per-byte cost (milli-cycles) for bus + memory movement.
+    pub per_byte_millicycles: u64,
+    /// Input queue capacity in packets (drops when full).
+    pub queue_packets: usize,
+}
+
+impl Default for ClickConfig {
+    fn default() -> Self {
+        ClickConfig {
+            clock_mhz: 700,
+            per_byte_millicycles: 1200, // 1.2 cycles/byte
+            queue_packets: 128,
+        }
+    }
+}
+
+/// The standard Click IP-forwarding path (Morris et al., SOSP '99), with
+/// per-element costs summing to the calibrated per-packet budget.
+pub fn standard_ip_elements() -> Vec<Element> {
+    vec![
+        Element {
+            name: "FromDevice(poll)",
+            cycles: 220,
+        },
+        Element {
+            name: "Classifier",
+            cycles: 70,
+        },
+        Element {
+            name: "Strip(14)",
+            cycles: 30,
+        },
+        Element {
+            name: "CheckIPHeader",
+            cycles: 150,
+        },
+        Element {
+            name: "LookupIPRoute",
+            cycles: 340,
+        },
+        Element {
+            name: "DecIPTTL",
+            cycles: 60,
+        },
+        Element {
+            name: "FixIPSrc/Annotate",
+            cycles: 80,
+        },
+        Element {
+            name: "ARPQuerier",
+            cycles: 120,
+        },
+        Element {
+            name: "Queue",
+            cycles: 110,
+        },
+        Element {
+            name: "ToDevice",
+            cycles: 220,
+        },
+    ]
+}
+
+/// The modeled router.
+pub struct ClickRouter {
+    pub cfg: ClickConfig,
+    pub elements: Vec<Element>,
+}
+
+/// Outcome of a simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct ClickReport {
+    pub offered: u64,
+    pub forwarded: u64,
+    pub dropped: u64,
+    pub cycles: u64,
+    pub bytes_forwarded: u64,
+}
+
+impl ClickReport {
+    pub fn throughput_gbps(&self, clock_mhz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.cycles as f64 / (clock_mhz as f64 * 1e6);
+        self.bytes_forwarded as f64 * 8.0 / secs / 1e9
+    }
+
+    pub fn pps(&self, clock_mhz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.cycles as f64 / (clock_mhz as f64 * 1e6);
+        self.forwarded as f64 / secs
+    }
+}
+
+impl ClickRouter {
+    pub fn standard() -> ClickRouter {
+        ClickRouter {
+            cfg: ClickConfig::default(),
+            elements: standard_ip_elements(),
+        }
+    }
+
+    /// CPU cycles to forward one packet of `bytes`.
+    pub fn packet_cost(&self, bytes: usize) -> u64 {
+        let fixed: u64 = self.elements.iter().map(|e| e.cycles).sum();
+        fixed + (bytes as u64 * self.cfg.per_byte_millicycles) / 1000
+    }
+
+    /// The maximum loss-free forwarding rate for a packet size, in pps.
+    pub fn max_lossfree_pps(&self, bytes: usize) -> f64 {
+        self.cfg.clock_mhz as f64 * 1e6 / self.packet_cost(bytes) as f64
+    }
+
+    /// Saturation throughput for a packet size, in Gbps.
+    pub fn saturation_gbps(&self, bytes: usize) -> f64 {
+        self.max_lossfree_pps(bytes) * bytes as f64 * 8.0 / 1e9
+    }
+
+    /// Event simulation: arrivals `(cycle, bytes)` per packet feed a
+    /// bounded queue drained by the single CPU.
+    pub fn simulate(&self, arrivals: &[(u64, usize)]) -> ClickReport {
+        let mut rep = ClickReport {
+            offered: arrivals.len() as u64,
+            ..Default::default()
+        };
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        let mut cpu_free_at = 0u64;
+        let mut i = 0usize;
+        let mut now = 0u64;
+        while i < arrivals.len() || !queue.is_empty() {
+            // Admit arrivals up to `now`.
+            while i < arrivals.len() && arrivals[i].0 <= now {
+                if queue.len() < self.cfg.queue_packets {
+                    queue.push_back(arrivals[i].1);
+                } else {
+                    rep.dropped += 1;
+                }
+                i += 1;
+            }
+            if let Some(bytes) = queue.pop_front() {
+                let start = now.max(cpu_free_at);
+                cpu_free_at = start + self.packet_cost(bytes);
+                now = cpu_free_at;
+                rep.forwarded += 1;
+                rep.bytes_forwarded += bytes as u64;
+            } else if i < arrivals.len() {
+                now = arrivals[i].0;
+            }
+        }
+        rep.cycles = cpu_free_at;
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_to_the_paper_bar() {
+        let c = ClickRouter::standard();
+        // ~0.45 Mpps at minimum-size packets on the 700 MHz reference
+        // machine ≈ 0.23 Gbps — the Figure 7-1 baseline.
+        let gbps = c.saturation_gbps(64);
+        assert!(
+            (0.18..=0.28).contains(&gbps),
+            "Click 64 B saturation {gbps:.3} Gbps out of the calibration band"
+        );
+        let pps = c.max_lossfree_pps(64);
+        assert!((350_000.0..=550_000.0).contains(&pps), "{pps}");
+    }
+
+    #[test]
+    fn per_packet_bound_grows_with_size_but_stays_low() {
+        let c = ClickRouter::standard();
+        let g64 = c.saturation_gbps(64);
+        let g1024 = c.saturation_gbps(1024);
+        assert!(g1024 > g64, "larger packets amortize the per-packet cost");
+        // Still far below multigigabit at 1,024 B (the §2.4 point).
+        assert!(g1024 < 3.0, "Click at 1024 B: {g1024:.2} Gbps");
+    }
+
+    #[test]
+    fn simulation_matches_analytic_rate_at_saturation() {
+        let c = ClickRouter::standard();
+        let arrivals: Vec<(u64, usize)> = (0..2000).map(|_| (0u64, 64usize)).collect();
+        let rep = c.simulate(&arrivals);
+        // The bounded queue drops most of an instantaneous burst.
+        assert_eq!(rep.forwarded + rep.dropped, 2000);
+        assert_eq!(rep.forwarded, 128, "queue capacity bounds the burst");
+        // Forwarding rate equals the analytic cost.
+        let per = rep.cycles / rep.forwarded;
+        assert_eq!(per, c.packet_cost(64));
+    }
+
+    #[test]
+    fn no_drops_below_capacity() {
+        let c = ClickRouter::standard();
+        let cost = c.packet_cost(256);
+        let arrivals: Vec<(u64, usize)> = (0..500).map(|k| (k * (cost + 10), 256usize)).collect();
+        let rep = c.simulate(&arrivals);
+        assert_eq!(rep.dropped, 0);
+        assert_eq!(rep.forwarded, 500);
+    }
+
+    #[test]
+    fn element_costs_are_itemized() {
+        let els = standard_ip_elements();
+        assert!(els.len() >= 8);
+        let total: u64 = els.iter().map(|e| e.cycles).sum();
+        assert_eq!(total, 1400, "fixed per-packet budget");
+    }
+}

@@ -1,0 +1,19 @@
+//! # raw-baselines — the systems the paper compares against
+//!
+//! * [`click`] — the Click modular software router on a conventional
+//!   general-purpose processor: the ≈0.23 Gbps baseline bar of
+//!   Figure 7-1 (§2.4).
+//! * [`fabric`] — a cell-based input-queued crossbar with FIFO or
+//!   virtual-output queueing and the iSLIP scheduler: the conventional
+//!   switched backplane of §2.2.2, reproducing the head-of-line-blocking
+//!   (≈58.6 %) and VOQ (≈100 %) saturation results.
+//! * [`cells`] — the fixed-cells-versus-variable-packets bandwidth study
+//!   (≈100 % vs ≈60 %, §2.2.2).
+
+pub mod cells;
+pub mod click;
+pub mod fabric;
+
+pub use cells::{internet_mix, BackplaneSim, Granularity, LengthDist};
+pub use click::{standard_ip_elements, ClickConfig, ClickReport, ClickRouter, Element};
+pub use fabric::{saturation_throughput, CrossbarSim, FabricConfig, FabricReport, Queueing};

@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks over the reproduction's building blocks:
+//! one group per paper artifact, so `cargo bench` exercises the same code
+//! paths the tables are generated from at measurable scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use raw_baselines::{internet_mix, BackplaneSim, CrossbarSim, FabricConfig, Granularity, Queueing};
+use raw_lookup::{synth_addresses, synth_table, Engine, ForwardingTable};
+use raw_net::{Ipv4Header, Packet};
+use raw_workloads::{generate, Workload};
+use raw_xbar::{config, RawRouter, RouterConfig};
+
+/// Figure 7-1's engine: simulated router cycles per second of host time
+/// (one granted 64-byte-packet pipeline per iteration).
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+    g.bench_function("simulate_64B_permutation_20kcycles", |b| {
+        b.iter_batched(
+            || {
+                let table = raw_bench::experiment_table();
+                let cfg = RouterConfig {
+                    quantum_words: 16,
+                    cut_through: true,
+                    ..RouterConfig::default()
+                };
+                let mut r = RawRouter::new(cfg, table);
+                for sp in generate(&Workload::peak(64, 400)) {
+                    r.offer(sp.port, sp.release, &sp.packet);
+                }
+                r
+            },
+            |mut r| {
+                r.run(20_000);
+                r.delivered_count()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+/// Table 6.1's engine: the sequential-walk scheduler and the full
+/// configuration-space enumeration.
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("sequential_walk", |b| {
+        let bids = [
+            config::Bid::unicast(2),
+            config::Bid::unicast(3),
+            config::Bid::unicast(0),
+            config::Bid::unicast(1),
+        ];
+        b.iter(|| {
+            config::schedule(
+                std::hint::black_box(bids),
+                0,
+                config::SchedPolicy::default(),
+            )
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("enumerate_2500_space", |b| {
+        b.iter(|| {
+            config::ConfigSpace::enumerate(config::SchedPolicy::ShortestFirst).minimized_len()
+        })
+    });
+    g.finish();
+}
+
+/// The Lookup Processor's engines.
+fn bench_lookup(c: &mut Criterion) {
+    let routes = synth_table(10_000, 4, 1);
+    let ft = Arc::new(ForwardingTable::build(&routes));
+    let addrs = synth_addresses(&routes, 1024, 0.8, 2);
+    let mut g = c.benchmark_group("lookup");
+    for engine in [Engine::Patricia, Engine::Dir24_8] {
+        g.bench_function(format!("{engine:?}_1k_lookups"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &a in &addrs {
+                    acc += ft.lookup(engine, a).0.unwrap_or(0) as u64;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The Ingress Processor's header work.
+fn bench_ipv4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipv4");
+    let p = Packet::synthetic(0x0a000001, 0x0a010001, 1024, 64, 3);
+    let words = p.to_words();
+    g.bench_function("parse_and_forward_hop", |b| {
+        b.iter(|| {
+            let mut hw = [0u32; 5];
+            hw.copy_from_slice(&words[..5]);
+            let mut h = Ipv4Header::from_words(std::hint::black_box(&hw)).unwrap();
+            h.forward_hop().unwrap();
+            h.checksum
+        })
+    });
+    g.bench_function("packet_words_roundtrip_1024B", |b| {
+        b.iter(|| {
+            Packet::from_words(std::hint::black_box(&words))
+                .unwrap()
+                .total_bytes()
+        })
+    });
+    g.finish();
+}
+
+/// The §2.2.2 baseline fabrics.
+fn bench_fabrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_fabrics");
+    g.sample_size(10);
+    g.bench_function("islip_voq_16port_5kslots", |b| {
+        b.iter(|| {
+            let mut sim = CrossbarSim::new(FabricConfig {
+                ports: 16,
+                queueing: Queueing::Voq,
+                islip_iters: 4,
+                seed: 1,
+                ..FabricConfig::default()
+            });
+            sim.run_uniform(1.0, 5_000);
+            sim.report.delivered_cells
+        })
+    });
+    g.bench_function("cells_backplane_8port_5kslots", |b| {
+        b.iter(|| BackplaneSim::new(8, Granularity::Cells, internet_mix(), 1).run(5_000))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_router,
+    bench_scheduler,
+    bench_lookup,
+    bench_ipv4,
+    bench_fabrics
+);
+criterion_main!(benches);

@@ -1,0 +1,397 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p raw-bench --bin repro -- all
+//! cargo run --release -p raw-bench --bin repro -- fig7-1-peak
+//! ```
+//!
+//! Each subcommand prints the paper-formatted table (with the paper's
+//! reported values beside ours) and writes `results/<exp>.json`.
+
+use std::path::PathBuf;
+
+use raw_bench::*;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn run_fig7_1_peak() {
+    println!("== Figure 7-1 (top): peak throughput vs packet size ==");
+    let pts = peak_sweep();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.bytes.to_string(),
+                fmt2(p.gbps),
+                fmt2(p.mpps),
+                fmt2(p.paper_gbps),
+                format!("{:.2}x", p.paper_gbps / p.gbps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["bytes", "Gbps", "Mpps", "paper Gbps", "paper/ours"],
+            &rows
+        )
+    );
+    let click = click_baseline();
+    println!(
+        "Click baseline (64 B): {:.2} Gbps (paper bar: {:.2} Gbps); Raw/Click at 1024 B: {:.0}x",
+        click[0].gbps,
+        PAPER_CLICK_GBPS,
+        pts.last().unwrap().gbps / click[0].gbps
+    );
+    write_json(&results_dir(), "fig7_1_peak", &pts).unwrap();
+    write_json(&results_dir(), "click_baseline", &click).unwrap();
+}
+
+fn run_fig7_1_avg() {
+    println!("== Figure 7-1 (bottom): average throughput (uniform traffic) ==");
+    let pts = avg_sweep();
+    let peak = peak_sweep();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .zip(&peak)
+        .map(|(p, pk)| {
+            vec![
+                p.bytes.to_string(),
+                fmt2(p.gbps),
+                fmt2(p.paper_gbps),
+                format!("{:.0}%", 100.0 * p.gbps / pk.gbps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["bytes", "Gbps", "paper Gbps", "avg/peak"], &rows)
+    );
+    println!("(the paper reports average ≈ 69% of peak)");
+    write_json(&results_dir(), "fig7_1_avg", &pts).unwrap();
+}
+
+fn run_fig7_2() {
+    println!("== Figure 7-2: mapping of router elements to Raw tiles ==");
+    use raw_xbar::RouterLayout;
+    let l = RouterLayout::canonical();
+    let mut roles = vec![String::new(); 16];
+    for (i, p) in l.ports.iter().enumerate() {
+        roles[p.ingress.index()] = format!("Ig{i}");
+        roles[p.lookup.index()] = format!("Lk{i}");
+        roles[p.crossbar.index()] = format!("Xb{i}");
+        roles[p.egress.index()] = format!("Eg{i}");
+    }
+    println!("        Out0    Out1");
+    for r in 0..4 {
+        let row: Vec<String> = (0..4)
+            .map(|c| format!("{:>4}({:>2})", roles[r * 4 + c], r * 4 + c))
+            .collect();
+        let side = match r {
+            1 => "In0 >  ",
+            2 => "In3 >  ",
+            _ => "       ",
+        };
+        let end = match r {
+            1 => "  < In1",
+            2 => "  < In2",
+            _ => "",
+        };
+        println!("{side}{}{end}", row.join(" "));
+    }
+    println!("        Out3    Out2");
+    println!("(Xb tiles 5-6-10-9 form the rotating ring, clockwise 0->1->2->3)");
+}
+
+fn run_fig7_3() {
+    println!("== Figure 7-3: per-tile utilization, 800 cycles ==");
+    for bytes in [64usize, 1024] {
+        let (ascii, csv) = fig7_3(bytes);
+        println!(
+            "--- {bytes}-byte packets ('#' busy, '.' blocked, ' ' idle; bucket = 8 cycles) ---"
+        );
+        println!("{ascii}");
+        std::fs::create_dir_all(results_dir()).unwrap();
+        std::fs::write(results_dir().join(format!("fig7_3_{bytes}.csv")), csv).unwrap();
+    }
+    println!("CSV traces written to results/fig7_3_*.csv");
+}
+
+fn run_table6_1() {
+    println!("== §6.1-6.2 / Table 6.1: configuration-space minimization ==");
+    let t = table6_1();
+    println!("global configuration space (5^4 x 4):  {}", t.global_space);
+    println!(
+        "distinct switch-code configurations:   {} (paper: {})",
+        t.switch_code_configs, t.paper_minimized
+    );
+    println!(
+        "  + ingress-blocked boolean:           {}",
+        t.with_grant_flag
+    );
+    println!("  clients only (Table 6.1 alphabet):   {}", t.clients_only);
+    println!(
+        "reduction factor:                      {:.1}x (paper: ~{:.0}x)",
+        t.reduction_factor, t.paper_reduction
+    );
+    println!(
+        "switch program @ quantum 64:           {} instrs (IMEM: {}) -> fits",
+        t.program_instrs_q64, t.switch_imem
+    );
+    println!(
+        "unminimized program @ quantum 64:      {} instrs -> {:.0}x over IMEM",
+        t.unminimized_instrs_q64,
+        t.unminimized_instrs_q64 as f64 / t.switch_imem as f64
+    );
+    write_json(&results_dir(), "table6_1", &t).unwrap();
+}
+
+fn run_fig3_2() {
+    println!("== Figure 3-2: tile-to-tile send timing ==");
+    let f = fig3_2();
+    println!(
+        "total cycles: {} (paper: {}), send-to-use: {} (paper: {})",
+        f.total_cycles, f.paper_total, f.send_to_use, f.paper_send_to_use
+    );
+    write_json(&results_dir(), "fig3_2", &f).unwrap();
+}
+
+fn run_ch2() {
+    println!("== §2.2.2 claims: HOL blocking, VOQ+iSLIP, cells vs packets ==");
+    let c = ch2_claims();
+    let rows: Vec<Vec<String>> = c
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt2(r.load),
+                format!("{:.3}", r.fifo_delivered),
+                format!("{:.3}", r.voq_delivered),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["load", "FIFO", "VOQ+iSLIP"], &rows));
+    println!(
+        "saturation: FIFO {:.3} (paper ~{:.3}), VOQ {:.3} (paper ~{:.1})",
+        c.fifo_saturation, c.paper_fifo, c.voq_saturation, c.paper_voq
+    );
+    println!(
+        "cells vs variable packets: {:.3} vs {:.3} (paper: ~1.0 vs ~0.6)",
+        c.cells_throughput, c.packets_throughput
+    );
+    write_json(&results_dir(), "ch2_claims", &c).unwrap();
+}
+
+fn run_fairness() {
+    println!("== §5.4 fairness + §8.7 weighted-token QoS (all->port0 hotspot) ==");
+    for weights in [[1u32, 1, 1, 1], [4, 1, 1, 1]] {
+        let f = fairness(weights);
+        println!(
+            "weights {:?}: per-source deliveries {:?}, Jain index {:.3}",
+            f.weights, f.per_source, f.jain_index
+        );
+        write_json(&results_dir(), &format!("fairness_w{}", weights[0]), &f).unwrap();
+    }
+}
+
+fn run_net2() {
+    println!("== §5.3: sufficiency of a single static network ==");
+    let u = ring_utilization();
+    println!(
+        "output-link words/cycle: {:.3}; busiest ring link words/cycle: {:.3}; ring capacity: {:.1}",
+        u.out_words_per_cycle, u.ring_words_per_cycle, u.ring_capacity
+    );
+    println!(
+        "ring headroom at peak: {:.0}% -> a second static network adds idle capacity only",
+        100.0 * (u.ring_capacity - u.ring_words_per_cycle)
+    );
+    write_json(&results_dir(), "ring_utilization", &u).unwrap();
+}
+
+fn run_deadlock() {
+    println!("== §5.5: randomized deadlock sweep ==");
+    let d = deadlock_sweep(12);
+    println!(
+        "{}/{} random workloads drained completely ({} packets total, zero corruption)",
+        d.drained, d.trials, d.packets_total
+    );
+    assert_eq!(d.drained, d.trials, "deadlock or loss detected!");
+    write_json(&results_dir(), "deadlock_sweep", &d).unwrap();
+}
+
+fn run_multicast() {
+    println!("== §8.6: multicast fanout in the fabric (end to end) ==");
+    let m = multicast_demo();
+    println!(
+        "{} fanout-3 copies delivered: {} cycles with fabric multicast vs {} with \
+         input replication ({:.2}x speedup)",
+        m.copies,
+        m.cycles_with_fanout,
+        m.cycles_with_replication,
+        m.cycles_with_replication as f64 / m.cycles_with_fanout as f64
+    );
+    println!(
+        "multicast configuration space: {} global points minimized to {} local configurations",
+        m.mcast_global_space, m.mcast_minimized
+    );
+    write_json(&results_dir(), "multicast", &m).unwrap();
+}
+
+fn run_scaling() {
+    println!("== §8.5: scalability (ring vs mesh-of-4-port-routers) ==");
+    let rows = scaling_study();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.ports.to_string(),
+                format!("{:.3}", r.ring_throughput),
+                format!("{:.3}", r.mesh_throughput),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["ports", "ring tput", "mesh tput"], &t));
+    write_json(&results_dir(), "scaling", &rows).unwrap();
+}
+
+fn run_quantum() {
+    println!("== ablation: quantum size & the fragmentation path (1024 B packets) ==");
+    let rows = quantum_ablation();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.quantum_words.to_string(),
+                if r.cut_through {
+                    "cut-through"
+                } else {
+                    "store-fwd"
+                }
+                .into(),
+                fmt2(r.gbps),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["quantum", "egress", "Gbps"], &t));
+    write_json(&results_dir(), "quantum_ablation", &rows).unwrap();
+}
+
+fn run_asm() {
+    println!("== §6.5: Crossbar Processors in generated Raw assembly ==");
+    let a = asm_crossbar_study();
+    println!(
+        "512 B peak (quantum 128): native state machines {:.2} Gbps, \
+         interpreted assembly {:.2} Gbps",
+        a.native_gbps_512, a.asm_gbps_512
+    );
+    println!(
+        "({}-instruction tile program: header exchange, ring all-to-all, jump-table \
+         index, lw, grant, swpcr)",
+        a.asm_program_instrs
+    );
+    write_json(&results_dir(), "asm_crossbar", &a).unwrap();
+}
+
+fn run_voq() {
+    println!("== §4.4 ingress queueing: FIFO (the paper's design) vs VOQ extension ==");
+    let v = voq_study();
+    println!(
+        "HOL victim completion:  FIFO {} cycles, VOQ {} cycles ({:.2}x earlier)",
+        v.fifo_victim_cycle,
+        v.voq_victim_cycle,
+        v.fifo_victim_cycle as f64 / v.voq_victim_cycle as f64
+    );
+    println!(
+        "whole-workload drain:   FIFO {} cycles, VOQ {} cycles",
+        v.fifo_total_cycle, v.voq_total_cycle
+    );
+    println!(
+        "(VOQ un-blocks the victims at the cost of store-and-forward buffering — \
+         the Chapter-2 trade, measured on the Raw fabric)"
+    );
+    write_json(&results_dir(), "voq_study", &v).unwrap();
+}
+
+fn run_latency() {
+    println!("== latency vs offered load (256 B packets, uniform destinations) ==");
+    let rows = latency_sweep();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.load_pct),
+                format!("{:.0}", r.mean_cycles),
+                r.p95_cycles.to_string(),
+                r.delivered.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["load", "mean cyc", "p95 cyc", "delivered"], &t)
+    );
+    println!("(queueing delay grows with load — the MGR §2.2.1 trade-off)");
+    write_json(&results_dir(), "latency", &rows).unwrap();
+}
+
+fn run_lookup() {
+    println!("== ablation: lookup engine (§8.2 direction) ==");
+    let rows = lookup_ablation();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                fmt2(r.gbps_64b),
+                fmt2(r.mean_lookup_cycles),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["engine", "64B Gbps", "lookup cyc"], &t));
+    write_json(&results_dir(), "lookup_ablation", &rows).unwrap();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let all = cmd == "all";
+    let mut matched = false;
+    let mut run = |name: &str, f: &dyn Fn()| {
+        if all || cmd == name {
+            matched = true;
+            f();
+            println!();
+        }
+    };
+    run("fig3-2", &run_fig3_2);
+    run("table6-1", &run_table6_1);
+    run("fig7-2", &run_fig7_2);
+    run("fig7-1-peak", &run_fig7_1_peak);
+    run("fig7-1-avg", &run_fig7_1_avg);
+    run("fig7-3", &run_fig7_3);
+    run("ch2-claims", &run_ch2);
+    run("fairness", &run_fairness);
+    run("ablation-net2", &run_net2);
+    run("deadlock-sweep", &run_deadlock);
+    run("multicast", &run_multicast);
+    run("scaling", &run_scaling);
+    run("ablation-quantum", &run_quantum);
+    run("ablation-lookup", &run_lookup);
+    run("ablation-voq", &run_voq);
+    run("asm-crossbar", &run_asm);
+    run("latency", &run_latency);
+    if !matched {
+        eprintln!(
+            "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
+             fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
+             multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency"
+        );
+        std::process::exit(2);
+    }
+}

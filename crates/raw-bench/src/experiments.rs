@@ -1,0 +1,799 @@
+//! Experiment runners, one per table/figure (DESIGN.md index E1–E12).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use raw_baselines::{
+    internet_mix, saturation_throughput, BackplaneSim, ClickRouter, CrossbarSim, FabricConfig,
+    Granularity, Queueing,
+};
+use raw_lookup::{ForwardingTable, RouteEntry};
+use raw_workloads::{generate, Pattern, Workload};
+use raw_xbar::{config, RawRouter, RouterConfig};
+
+/// The packet sizes of Figure 7-1.
+pub const PAPER_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// The paper's reported numbers, for side-by-side printing.
+pub const PAPER_PEAK_GBPS: [f64; 5] = [7.3, 14.4, 20.1, 24.7, 26.9];
+pub const PAPER_AVG_GBPS: [f64; 5] = [5.0, 9.9, 13.8, 16.9, 18.6];
+pub const PAPER_CLICK_GBPS: f64 = 0.23;
+
+/// The experiment forwarding table: `10.<p>.0.0/16 -> port p` plus a
+/// default route.
+pub fn experiment_table() -> Arc<ForwardingTable> {
+    let mut routes: Vec<RouteEntry> = (0..4)
+        .map(|p| RouteEntry::new(0x0a00_0000 | (p << 16), 16, p))
+        .collect();
+    routes.push(RouteEntry::new(0, 0, 0));
+    Arc::new(ForwardingTable::build(&routes))
+}
+
+/// One measured point of a Figure 7-1 curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SizePoint {
+    pub bytes: usize,
+    pub gbps: f64,
+    pub mpps: f64,
+    pub paper_gbps: f64,
+}
+
+fn run_router_throughput(w: &Workload, warm: u64, window: u64) -> (f64, f64) {
+    let quantum = (w.packet_bytes / 4).min(256);
+    let cfg = RouterConfig {
+        quantum_words: quantum,
+        cut_through: w.packet_bytes / 4 <= 256,
+        ..RouterConfig::default()
+    };
+    let mut r = RawRouter::new(cfg, experiment_table());
+    for sp in generate(w) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    r.run(warm + window);
+    assert_eq!(r.parse_errors(), 0, "corrupt delivery during measurement");
+    (
+        r.throughput_gbps(warm, warm + window),
+        r.pps(warm, warm + window) / 1e6,
+    )
+}
+
+/// How many packets per port saturate a measurement window.
+fn packets_for(bytes: usize, cycles: u64) -> usize {
+    ((cycles as usize) / (bytes / 4)).clamp(64, 8000)
+}
+
+const WARM: u64 = 20_000;
+const WINDOW: u64 = 200_000;
+
+/// Run one simulation per packet size on its own thread (each simulator
+/// instance is deterministic and self-contained, so the sweep
+/// parallelizes perfectly).
+fn parallel_sweep(mk: impl Fn(usize) -> Workload + Sync) -> Vec<SizePoint> {
+    let out = parking_lot::Mutex::new(vec![None; PAPER_SIZES.len()]);
+    crossbeam::scope(|scope| {
+        for (i, (&bytes, paper)) in PAPER_SIZES.iter().zip(PAPER_PEAK_GBPS).enumerate() {
+            let out = &out;
+            let mk = &mk;
+            scope.spawn(move |_| {
+                let w = mk(bytes);
+                let (gbps, mpps) = run_router_throughput(&w, WARM, WINDOW);
+                out.lock()[i] = Some(SizePoint {
+                    bytes,
+                    gbps,
+                    mpps,
+                    paper_gbps: paper,
+                });
+            });
+        }
+    })
+    .expect("sweep threads");
+    out.into_inner().into_iter().map(Option::unwrap).collect()
+}
+
+/// E1 / Figure 7-1 (top): peak throughput under conflict-free
+/// permutation traffic at saturation.
+pub fn peak_sweep() -> Vec<SizePoint> {
+    let mut pts = parallel_sweep(|bytes| Workload::peak(bytes, packets_for(bytes, WARM + WINDOW)));
+    for (p, paper) in pts.iter_mut().zip(PAPER_PEAK_GBPS) {
+        p.paper_gbps = paper;
+    }
+    pts
+}
+
+/// E2 / Figure 7-1 (bottom): average throughput under uniform-random
+/// destinations ("complete fairness of the traffic").
+pub fn avg_sweep() -> Vec<SizePoint> {
+    let mut pts =
+        parallel_sweep(|bytes| Workload::average(bytes, packets_for(bytes, WARM + WINDOW), 42));
+    for (p, paper) in pts.iter_mut().zip(PAPER_AVG_GBPS) {
+        p.paper_gbps = paper;
+    }
+    pts
+}
+
+/// The Click baseline bar of Figure 7-1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClickPoint {
+    pub bytes: usize,
+    pub gbps: f64,
+    pub kpps: f64,
+}
+
+pub fn click_baseline() -> Vec<ClickPoint> {
+    let c = ClickRouter::standard();
+    PAPER_SIZES
+        .iter()
+        .map(|&bytes| ClickPoint {
+            bytes,
+            gbps: c.saturation_gbps(bytes),
+            kpps: c.max_lossfree_pps(bytes) / 1e3,
+        })
+        .collect()
+}
+
+/// E3 / Figure 7-3: per-tile utilization over an 800-cycle window at
+/// saturation. Returns `(ascii_plot, csv)`.
+pub fn fig7_3(bytes: usize) -> (String, String) {
+    let quantum = bytes / 4;
+    let cfg = RouterConfig {
+        quantum_words: quantum,
+        cut_through: true,
+        ..RouterConfig::default()
+    };
+    let mut r = RawRouter::new(cfg, experiment_table());
+    let w = Workload::peak(bytes, 4000.min(600_000 / quantum));
+    for sp in generate(&w) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    // Warm into steady state, then record 800 cycles as the paper does.
+    r.start_trace(20_000, 800);
+    r.run(20_000 + 800 + 16);
+    let tr = r.take_trace().expect("trace recorded");
+    (tr.render_ascii(8), tr.to_csv())
+}
+
+/// E4 / §6.1–6.2 + Table 6.1: configuration-space minimization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfigSpaceStats {
+    pub global_space: usize,
+    pub switch_code_configs: usize,
+    pub with_grant_flag: usize,
+    pub clients_only: usize,
+    pub reduction_factor: f64,
+    pub paper_minimized: usize,
+    pub paper_reduction: f64,
+    /// Generated switch-program size at the evaluation quantum, and the
+    /// IMEM bound it must fit.
+    pub program_instrs_q64: usize,
+    pub unminimized_instrs_q64: usize,
+    pub switch_imem: usize,
+}
+
+pub fn table6_1() -> ConfigSpaceStats {
+    use raw_xbar::codegen::{gen_crossbar_switch, switch_code_key, unminimized_instr_count};
+    use raw_xbar::layout::RouterLayout;
+    let cs = config::ConfigSpace::enumerate(config::SchedPolicy::ShortestFirst);
+    let switch_code: std::collections::BTreeSet<_> =
+        cs.configs.iter().map(switch_code_key).collect();
+    let clients: std::collections::BTreeSet<_> =
+        cs.configs.iter().map(|c| (c.out, c.cw, c.ccw)).collect();
+    let l = RouterLayout::canonical();
+    let prog = gen_crossbar_switch(&l.ports[0], &cs, 64);
+    ConfigSpaceStats {
+        global_space: config::GLOBAL_SPACE,
+        switch_code_configs: switch_code.len(),
+        with_grant_flag: cs.configs.len(),
+        clients_only: clients.len(),
+        reduction_factor: config::GLOBAL_SPACE as f64 / switch_code.len() as f64,
+        paper_minimized: 32,
+        paper_reduction: 78.0,
+        program_instrs_q64: prog.program.len(),
+        unminimized_instrs_q64: unminimized_instr_count(64),
+        switch_imem: raw_sim::SWITCH_IMEM_INSTRS,
+    }
+}
+
+/// E5 / Figure 3-2: the 5-cycle tile-to-tile send, measured in assembly
+/// on the simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig32 {
+    pub total_cycles: u64,
+    pub send_to_use: u64,
+    pub paper_total: u64,
+    pub paper_send_to_use: u64,
+}
+
+pub fn fig3_2() -> Fig32 {
+    use raw_isa::{assemble_switch, IsaCore, Reg};
+    use raw_sim::{RawConfig, RawMachine, TileId, NET0};
+    let mut m = RawMachine::new(RawConfig::default());
+    let mut sender = IsaCore::from_asm("or $csto, $zero, $a1\nhalt").unwrap();
+    sender.set_reg(Reg(5), 0xBEEF);
+    let (sender, sw) = sender.watched();
+    m.set_program(TileId(0), Box::new(sender));
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        assemble_switch("route $csto->$cSo").unwrap(),
+    );
+    let mut recv = IsaCore::from_asm("and $a1, $a1, $csti\nhalt").unwrap();
+    recv.set_reg(Reg(5), 0xFFFF_FFFF);
+    let (recv, rw) = recv.watched();
+    m.set_program(TileId(4), Box::new(recv));
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        assemble_switch("route $cNi->$csti").unwrap(),
+    );
+    m.run(30);
+    let or_cycle = sw.lock().unwrap().retire_cycles[0];
+    let and_cycle = rw.lock().unwrap().retire_cycles[0];
+    Fig32 {
+        total_cycles: and_cycle - or_cycle + 1,
+        send_to_use: and_cycle - or_cycle - 1,
+        paper_total: 5,
+        paper_send_to_use: 3,
+    }
+}
+
+/// E7 / §2.2.2: HOL blocking and iSLIP on the conventional fabric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HolRow {
+    pub load: f64,
+    pub fifo_delivered: f64,
+    pub voq_delivered: f64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ch2Claims {
+    pub rows: Vec<HolRow>,
+    pub fifo_saturation: f64,
+    pub voq_saturation: f64,
+    pub paper_fifo: f64,
+    pub paper_voq: f64,
+    pub cells_throughput: f64,
+    pub packets_throughput: f64,
+    pub paper_cells: f64,
+    pub paper_packets: f64,
+}
+
+pub fn ch2_claims() -> Ch2Claims {
+    let ports = 16;
+    let slots = 30_000;
+    let rows = [0.2, 0.4, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 1.0]
+        .iter()
+        .map(|&load| {
+            let mut fifo = CrossbarSim::new(FabricConfig {
+                ports,
+                queueing: Queueing::Fifo,
+                islip_iters: 1,
+                seed: 7,
+                ..FabricConfig::default()
+            });
+            fifo.run_uniform(load, slots);
+            let mut voq = CrossbarSim::new(FabricConfig {
+                ports,
+                queueing: Queueing::Voq,
+                islip_iters: 4,
+                seed: 7,
+                ..FabricConfig::default()
+            });
+            voq.run_uniform(load, slots);
+            HolRow {
+                load,
+                fifo_delivered: fifo.report.throughput(ports),
+                voq_delivered: voq.report.throughput(ports),
+            }
+        })
+        .collect();
+    Ch2Claims {
+        rows,
+        fifo_saturation: saturation_throughput(Queueing::Fifo, ports, 1, slots, 3),
+        voq_saturation: saturation_throughput(Queueing::Voq, ports, 4, slots, 3),
+        paper_fifo: 0.586,
+        paper_voq: 1.0,
+        cells_throughput: BackplaneSim::new(8, Granularity::Cells, internet_mix(), 2).run(slots),
+        packets_throughput: BackplaneSim::new(8, Granularity::Packets, internet_mix(), 2)
+            .run(slots),
+        paper_cells: 1.0,
+        paper_packets: 0.6,
+    }
+}
+
+/// E8 / §5.4 + §8.7: fairness under an all-to-one hotspot, with and
+/// without weighted tokens.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FairnessResult {
+    pub weights: [u32; 4],
+    /// Packets delivered per source under saturation hotspot traffic.
+    pub per_source: [u64; 4],
+    pub jain_index: f64,
+}
+
+pub fn fairness(weights: [u32; 4]) -> FairnessResult {
+    let bytes = 256usize;
+    let cfg = RouterConfig {
+        quantum_words: bytes / 4,
+        cut_through: true,
+        weights,
+        ..RouterConfig::default()
+    };
+    let mut r = RawRouter::new(cfg, experiment_table());
+    let w = Workload {
+        pattern: Pattern::Hotspot { dst: 0 },
+        ..Workload::peak(bytes, 2000)
+    };
+    for sp in generate(&w) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    r.run(300_000);
+    let delivered = r.delivered(0);
+    let mut per_source = [0u64; 4];
+    for (_, p) in &delivered {
+        let src = (p.header.src & 0x3) as usize;
+        per_source[src] += 1;
+    }
+    let n = 4.0;
+    let sum: f64 = per_source.iter().map(|&x| x as f64).sum();
+    let sumsq: f64 = per_source.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    let jain = if sumsq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (n * sumsq)
+    };
+    FairnessResult {
+        weights,
+        per_source,
+        jain_index: jain,
+    }
+}
+
+/// E9 / §5.3: sufficiency of a single static network — measured ring-link
+/// and output-link word rates at peak.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingUtilization {
+    /// Words per cycle delivered per output port (the binding resource).
+    pub out_words_per_cycle: f64,
+    /// Upper bound on words per cycle on the busiest ring link
+    /// (permutation traffic: each link carries one flow).
+    pub ring_words_per_cycle: f64,
+    /// Ring capacity in the same units (1.0 per network).
+    pub ring_capacity: f64,
+}
+
+pub fn ring_utilization() -> RingUtilization {
+    let bytes = 1024usize;
+    let w = Workload::peak(bytes, 2000);
+    let (gbps, _) = run_router_throughput(&w, WARM, WINDOW);
+    // Each delivered bit crossed exactly one out link; permutation flows
+    // traverse ring links at the same word rate as their output. The
+    // aggregate rate spreads across the four ports.
+    let words_per_cycle_port = gbps * 1e9 / 32.0 / 250e6 / 4.0;
+    RingUtilization {
+        out_words_per_cycle: words_per_cycle_port,
+        ring_words_per_cycle: words_per_cycle_port,
+        ring_capacity: 1.0,
+    }
+}
+
+/// E10 / §5.5: randomized deadlock sweep — every random workload must
+/// drain completely.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeadlockSweep {
+    pub trials: u32,
+    pub drained: u32,
+    pub packets_total: u64,
+}
+
+pub fn deadlock_sweep(trials: u32) -> DeadlockSweep {
+    let mut drained = 0u32;
+    let mut packets_total = 0u64;
+    for t in 0..trials {
+        let bytes = [64usize, 128, 256, 512][t as usize % 4];
+        let pattern = match t % 3 {
+            0 => Pattern::Uniform,
+            1 => Pattern::Hotspot { dst: (t % 4) as u8 },
+            _ => Pattern::Bursty { burst: 4 },
+        };
+        let w = Workload {
+            pattern,
+            seed: 1000 + t as u64,
+            ..Workload::average(bytes, 60, 1000 + t as u64)
+        };
+        let cfg = RouterConfig {
+            quantum_words: bytes / 4,
+            cut_through: true,
+            ..RouterConfig::default()
+        };
+        let mut r = RawRouter::new(cfg, experiment_table());
+        let sched = generate(&w);
+        packets_total += sched.len() as u64;
+        for sp in &sched {
+            r.offer(sp.port, sp.release, &sp.packet);
+        }
+        if r.run_until_drained(3_000_000) && r.parse_errors() == 0 {
+            drained += 1;
+        }
+    }
+    DeadlockSweep {
+        trials,
+        drained,
+        packets_total,
+    }
+}
+
+/// E11 / §8.6: multicast — fabric fanout versus input-side replication,
+/// measured end to end on the router's data path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MulticastResult {
+    /// Cycles to deliver N multicast packets to all of ports 1..3 using
+    /// the fabric's switch fanout (one stream per packet).
+    pub cycles_with_fanout: u64,
+    /// Cycles when the source must send three unicast copies per packet.
+    pub cycles_with_replication: u64,
+    /// Fanout copies delivered (3 x N in both runs).
+    pub copies: u64,
+    /// The multicast configuration space and its minimized size.
+    pub mcast_global_space: usize,
+    pub mcast_minimized: usize,
+}
+
+pub fn multicast_demo() -> MulticastResult {
+    use raw_lookup::encode_multicast;
+    let n = 24u32;
+    let bytes = 256usize;
+    let run = |fanout: bool| -> (u64, u64) {
+        let mut routes: Vec<RouteEntry> = (0..4)
+            .map(|p| RouteEntry::new(0x0a00_0000 | (p << 16), 16, p))
+            .collect();
+        routes.push(RouteEntry::new(0xe000_0000, 4, encode_multicast(0b1110)));
+        let cfg = RouterConfig {
+            quantum_words: bytes / 4,
+            cut_through: true,
+            multicast: true,
+            ..RouterConfig::default()
+        };
+        let mut r = RawRouter::new(cfg, Arc::new(ForwardingTable::build(&routes)));
+        for k in 0..n {
+            if fanout {
+                r.offer(
+                    0,
+                    0,
+                    &raw_net::Packet::synthetic(0x0a0a_0000, 0xe000_0005, bytes, 64, k),
+                );
+            } else {
+                for dst in 1..4u32 {
+                    let p = raw_net::Packet::synthetic(
+                        0x0a0a_0000,
+                        0x0a00_0001 | (dst << 16),
+                        bytes,
+                        64,
+                        k * 4 + dst,
+                    );
+                    r.offer(0, 0, &p);
+                }
+            }
+        }
+        let expect = 3 * n as u64;
+        while r.delivered_count() < expect && r.machine.cycle() < 6_000_000 {
+            r.run(128);
+        }
+        assert!(
+            r.delivered_count() >= expect,
+            "multicast run incomplete: {} of {expect}",
+            r.delivered_count()
+        );
+        (r.machine.cycle(), r.delivered_count())
+    };
+    let (cyc_fan, copies) = run(true);
+    let (cyc_rep, _) = run(false);
+    let cs = config::ConfigSpace::enumerate_multicast(config::SchedPolicy::default());
+    MulticastResult {
+        cycles_with_fanout: cyc_fan,
+        cycles_with_replication: cyc_rep,
+        copies,
+        mcast_global_space: config::GLOBAL_SPACE_MCAST,
+        mcast_minimized: cs.minimized_len(),
+    }
+}
+
+/// E12 / §8.5: ring versus mesh scaling.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingRow {
+    pub ports: usize,
+    pub ring_throughput: f64,
+    pub mesh_throughput: f64,
+}
+
+pub fn scaling_study() -> Vec<ScalingRow> {
+    [4usize, 8, 16, 32]
+        .iter()
+        .map(|&n| ScalingRow {
+            ports: n,
+            ring_throughput: raw_xbar::ring_saturation_throughput(n, 30_000, 5),
+            mesh_throughput: raw_xbar::mesh_scaling_throughput(n / 4),
+        })
+        .collect()
+}
+
+/// §6.5: the Crossbar Processors as generated Raw assembly on the
+/// cycle-accurate interpreter, versus the native state machines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsmXbarResult {
+    /// 512-byte peak (quantum 128 — the destination-mask routine set no
+    /// longer fits switch IMEM at quantum 256, a real instance of the
+    /// §6.2 capacity argument).
+    pub native_gbps_512: f64,
+    pub asm_gbps_512: f64,
+    pub asm_program_instrs: usize,
+}
+
+pub fn asm_crossbar_study() -> AsmXbarResult {
+    let run = |asm: bool| -> f64 {
+        let w = Workload::peak(512, 2500);
+        let cfg = RouterConfig {
+            quantum_words: 128,
+            cut_through: true,
+            asm_crossbar: asm,
+            ..RouterConfig::default()
+        };
+        let mut r = RawRouter::new(cfg, experiment_table());
+        for sp in generate(&w) {
+            r.offer(sp.port, sp.release, &sp.packet);
+        }
+        r.run(WARM + WINDOW);
+        assert_eq!(r.parse_errors(), 0);
+        r.throughput_gbps(WARM, WARM + WINDOW)
+    };
+    let src = raw_xbar::asm_xbar::gen_crossbar_asm_source(0, 1);
+    let instrs = raw_isa::assemble(&src).expect("assembles").len();
+    AsmXbarResult {
+        native_gbps_512: run(false),
+        asm_gbps_512: run(true),
+        asm_program_instrs: instrs,
+    }
+}
+
+/// E17 / §4.4 vs Chapter 2: ingress queueing — the router's FIFO design
+/// against the virtual-output-queueing extension, under the classic HOL
+/// scenario (a hotspot burst with a victim packet to an idle output
+/// queued behind it on every port).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VoqResult {
+    /// Completion cycle of the last HOL-victim packet, per discipline.
+    pub fifo_victim_cycle: u64,
+    pub voq_victim_cycle: u64,
+    /// Completion of the entire workload, per discipline.
+    pub fifo_total_cycle: u64,
+    pub voq_total_cycle: u64,
+}
+
+pub fn voq_study() -> VoqResult {
+    use raw_xbar::IngressQueueing;
+    let run = |queueing: IngressQueueing| -> (u64, u64) {
+        let cfg = RouterConfig {
+            quantum_words: 16,
+            cut_through: true,
+            queueing,
+            ..RouterConfig::default()
+        };
+        let mut r = RawRouter::new(cfg, experiment_table());
+        for src in 0..4u32 {
+            for k in 0..20u32 {
+                let p = raw_net::Packet::synthetic(
+                    0x0a0a_0000 + src,
+                    0x0a00_0001, // hotspot: everyone floods port 0
+                    64,
+                    64,
+                    k,
+                );
+                r.offer(src as usize, 0, &p);
+            }
+            let v = raw_net::Packet::synthetic(
+                0x0a0a_0000 + src,
+                0x0a00_0001 | (((src + 1) % 4) << 16),
+                64,
+                64,
+                99,
+            );
+            r.offer(src as usize, 0, &v);
+        }
+        assert!(r.run_until_drained(6_000_000));
+        let victims = (0..4)
+            .flat_map(|p| r.delivered(p))
+            .filter(|(_, p)| ((p.header.dst >> 16) & 0x3) != 0)
+            .map(|(c, _)| c)
+            .max()
+            .expect("victims delivered");
+        let total = (0..4)
+            .flat_map(|p| r.delivered(p))
+            .map(|(c, _)| c)
+            .max()
+            .unwrap();
+        (victims, total)
+    };
+    let (fv, ft) = run(IngressQueueing::Fifo);
+    let (vv, vt) = run(IngressQueueing::Voq);
+    VoqResult {
+        fifo_victim_cycle: fv,
+        voq_victim_cycle: vv,
+        fifo_total_cycle: ft,
+        voq_total_cycle: vt,
+    }
+}
+
+/// E16: packet latency versus offered load (the §2.2.1 discussion —
+/// input-queued switches trade predictable latency for throughput).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyRow {
+    pub load_pct: u32,
+    pub mean_cycles: f64,
+    pub p95_cycles: u64,
+    pub delivered: u64,
+}
+
+pub fn latency_sweep() -> Vec<LatencyRow> {
+    let bytes = 256usize;
+    let quantum = bytes / 4;
+    // A packet takes ~(quantum + overhead) cycles of port time; scale the
+    // Bernoulli slot so `p` maps to the offered fraction of capacity.
+    let service = (quantum + 50) as u64;
+    [10u32, 30, 50, 70, 90]
+        .iter()
+        .map(|&load_pct| {
+            let cfg = RouterConfig {
+                quantum_words: quantum,
+                cut_through: true,
+                ..RouterConfig::default()
+            };
+            let mut r = RawRouter::new(cfg, experiment_table());
+            let w = Workload {
+                arrivals: raw_workloads::Arrivals::Bernoulli {
+                    slot_cycles: service,
+                    p_mille: load_pct * 10,
+                },
+                ..Workload::average(bytes, 400, 9)
+            };
+            let sched = generate(&w);
+            // Release time per (src, id) for latency accounting.
+            let mut release = std::collections::BTreeMap::new();
+            for sp in &sched {
+                release.insert((sp.port, sp.packet.header.id), sp.release);
+                r.offer(sp.port, sp.release, &sp.packet);
+            }
+            r.run_until_drained(40_000_000);
+            let mut lats: Vec<u64> = Vec::new();
+            for port in 0..4 {
+                for (cycle, p) in r.delivered(port) {
+                    let src = (p.header.src & 0x3) as usize;
+                    if let Some(rel) = release.get(&(src, p.header.id)) {
+                        lats.push(cycle.saturating_sub(*rel));
+                    }
+                }
+            }
+            lats.sort_unstable();
+            let delivered = lats.len() as u64;
+            let mean = lats.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
+            let p95 = lats.get(lats.len() * 95 / 100).copied().unwrap_or(0);
+            LatencyRow {
+                load_pct,
+                mean_cycles: mean,
+                p95_cycles: p95,
+                delivered,
+            }
+        })
+        .collect()
+}
+
+/// Quantum ablation: throughput of 1,024-byte packets as the quantum
+/// shrinks and store-and-forward reassembly takes over (the §4.2
+/// fragmentation path).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuantumRow {
+    pub quantum_words: usize,
+    pub cut_through: bool,
+    pub gbps: f64,
+}
+
+pub fn quantum_ablation() -> Vec<QuantumRow> {
+    let bytes = 1024usize;
+    [256usize, 128, 64, 32]
+        .iter()
+        .map(|&q| {
+            let cut = q >= bytes / 4;
+            let cfg = RouterConfig {
+                quantum_words: q,
+                cut_through: cut,
+                ..RouterConfig::default()
+            };
+            let mut r = RawRouter::new(cfg, experiment_table());
+            let w = Workload::peak(bytes, 1500);
+            for sp in generate(&w) {
+                r.offer(sp.port, sp.release, &sp.packet);
+            }
+            r.run(WARM + WINDOW);
+            QuantumRow {
+                quantum_words: q,
+                cut_through: cut,
+                gbps: r.throughput_gbps(WARM, WARM + WINDOW),
+            }
+        })
+        .collect()
+}
+
+/// Lookup-engine ablation: Patricia trie versus the DIR-24-8 table on
+/// the same traffic (§8.2's direction).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LookupRow {
+    pub engine: String,
+    pub gbps_64b: f64,
+    pub mean_lookup_cycles: f64,
+}
+
+pub fn lookup_ablation() -> Vec<LookupRow> {
+    [raw_lookup::Engine::Patricia, raw_lookup::Engine::Dir24_8]
+        .iter()
+        .map(|&engine| {
+            let cfg = RouterConfig {
+                quantum_words: 16,
+                cut_through: true,
+                engine,
+                ..RouterConfig::default()
+            };
+            let mut r = RawRouter::new(cfg, experiment_table());
+            let w = Workload::peak(64, 6000);
+            for sp in generate(&w) {
+                r.offer(sp.port, sp.release, &sp.packet);
+            }
+            r.run(WARM + WINDOW);
+            let lk = r.lk_stats[0].lock().unwrap();
+            LookupRow {
+                engine: format!("{engine:?}"),
+                gbps_64b: r.throughput_gbps(WARM, WARM + WINDOW),
+                mean_lookup_cycles: lk.total_cost_cycles as f64 / lk.lookups.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_2_reproduces_exactly() {
+        let f = fig3_2();
+        assert_eq!(f.total_cycles, f.paper_total);
+        assert_eq!(f.send_to_use, f.paper_send_to_use);
+    }
+
+    #[test]
+    fn table6_1_reproduces_the_minimization() {
+        let t = table6_1();
+        assert_eq!(t.global_space, 2500);
+        assert!(t.switch_code_configs <= 40);
+        assert!(t.reduction_factor > 60.0);
+        assert!(t.program_instrs_q64 <= t.switch_imem);
+        assert!(t.unminimized_instrs_q64 > t.switch_imem);
+    }
+
+    #[test]
+    fn multicast_fanout_saves_cycles() {
+        let m = multicast_demo();
+        assert!(
+            m.cycles_with_fanout * 2 < m.cycles_with_replication,
+            "fanout {} vs replication {}",
+            m.cycles_with_fanout,
+            m.cycles_with_replication
+        );
+        assert_eq!(m.copies, 72);
+    }
+
+    #[test]
+    fn scaling_shows_ring_decay_and_mesh_flat() {
+        let rows = scaling_study();
+        assert!(rows[0].ring_throughput > rows.last().unwrap().ring_throughput);
+        assert!(rows.iter().all(|r| (r.mesh_throughput - 1.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,12 @@
+//! # raw-bench — the experiment harness
+//!
+//! One runner per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index). Each runner returns a serializable result the
+//! `repro` binary prints in the paper's format and writes to
+//! `results/<exp>.json`.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

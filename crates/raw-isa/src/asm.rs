@@ -1,0 +1,777 @@
+//! Two-pass assemblers for tile-processor and switch-processor programs.
+//!
+//! ## Tile syntax
+//!
+//! ```text
+//! # comments with '#' or '//'
+//!         addi  $t0, $zero, 16
+//! loop:   lw    $csto, 0($t1)      # load-and-forward, 1 cycle/word
+//!         addi  $t1, $t1, 1
+//!         addi  $t0, $t0, -1
+//!         bgtz  $t0, loop
+//!         halt
+//! ```
+//!
+//! Register aliases follow MIPS conventions plus the Raw network
+//! registers `$csti`, `$csti2`, `$csto`, `$cdni`, `$cdno`. Memory offsets
+//! are in **words**.
+//!
+//! ## Switch syntax
+//!
+//! ```text
+//! start:  route $cWi->$cPo, $csto->$cEo    # two routes, one instruction
+//!         route $cNi->$cSo2                # trailing 2 selects network 1
+//!         j start
+//!         waitpc                           # halt until the tile processor
+//!                                          # loads a new PC
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use raw_sim::{Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram, NET0, NET1};
+
+use crate::isa::*;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn strip_comment(s: &str) -> &str {
+    let s = s.split('#').next().unwrap_or("");
+    s.split("//").next().unwrap_or("").trim()
+}
+
+/// Parse a register name (`$5`, `$t0`, `$csti`, ...).
+pub fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let Some(name) = t.strip_prefix('$') else {
+        return err(line, format!("expected register, got '{t}'"));
+    };
+    let n = match name {
+        "zero" => 0,
+        "at" => 1,
+        "v0" => 2,
+        "v1" => 3,
+        "a0" => 4,
+        "a1" => 5,
+        "a2" => 6,
+        "a3" => 7,
+        "t0" => 8,
+        "t1" => 9,
+        "t2" => 10,
+        "t3" => 11,
+        "t4" => 12,
+        "t5" => 13,
+        "t6" => 14,
+        "t7" => 15,
+        "s0" => 16,
+        "s1" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "csti" => 24,
+        "csti2" => 25,
+        "csto" => 26,
+        "cdni" => 27,
+        "cdno" => 28,
+        "sp" => 29,
+        "fp" => 30,
+        "ra" => 31,
+        _ => match name.parse::<u8>() {
+            Ok(n) if n < 32 => n,
+            _ => return err(line, format!("unknown register '{t}'")),
+        },
+    };
+    Ok(Reg(n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        t.parse::<i64>().map_err(|_| "".parse::<u32>().unwrap_err())
+    };
+    match v {
+        Ok(v) => {
+            let v = if neg { -v } else { v };
+            if v < i32::MIN as i64 || v > u32::MAX as i64 {
+                err(line, format!("immediate out of range: '{tok}'"))
+            } else {
+                Ok(v as i32)
+            }
+        }
+        Err(_) => err(line, format!("bad immediate '{tok}'")),
+    }
+}
+
+/// Parse `off($reg)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let t = tok.trim();
+    let Some(open) = t.find('(') else {
+        return err(line, format!("expected off($reg), got '{t}'"));
+    };
+    if !t.ends_with(')') {
+        return err(line, format!("expected off($reg), got '{t}'"));
+    }
+    let off_s = &t[..open];
+    let reg_s = &t[open + 1..t.len() - 1];
+    let off = if off_s.trim().is_empty() {
+        0
+    } else {
+        parse_imm(off_s, line)?
+    };
+    Ok((off, parse_reg(reg_s, line)?))
+}
+
+enum PendingTarget {
+    Label(String),
+}
+
+enum Draft {
+    Done(Instr),
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        target: PendingTarget,
+    },
+    J(PendingTarget),
+    Jal(PendingTarget),
+}
+
+/// Assemble tile-processor source into a validated instruction list.
+pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut drafts: Vec<(usize, Draft)> = Vec::new();
+
+    for (line_no, raw) in src.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut text = strip_comment(raw);
+        // Labels, possibly several, possibly followed by an instruction.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(line_no, format!("bad label '{label}'"));
+            }
+            if labels.insert(label.to_string(), drafts.len()).is_some() {
+                return err(line_no, format!("duplicate label '{label}'"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                err(
+                    line_no,
+                    format!("{mnem} expects {n} operands, got {}", ops.len()),
+                )
+            }
+        };
+
+        let alu3 = |op: AluOp| -> Result<Draft, AsmError> {
+            need(3)?;
+            Ok(Draft::Done(Instr::Alu {
+                op,
+                rd: parse_reg(ops[0], line_no)?,
+                rs: parse_reg(ops[1], line_no)?,
+                rt: parse_reg(ops[2], line_no)?,
+            }))
+        };
+        let alui = |op: AluImmOp| -> Result<Draft, AsmError> {
+            need(3)?;
+            Ok(Draft::Done(Instr::AluImm {
+                op,
+                rt: parse_reg(ops[0], line_no)?,
+                rs: parse_reg(ops[1], line_no)?,
+                imm: parse_imm(ops[2], line_no)?,
+            }))
+        };
+        let branch2 = |cond: BranchCond| -> Result<Draft, AsmError> {
+            need(3)?;
+            Ok(Draft::Branch {
+                cond,
+                rs: parse_reg(ops[0], line_no)?,
+                rt: parse_reg(ops[1], line_no)?,
+                target: PendingTarget::Label(ops[2].to_string()),
+            })
+        };
+        let branch1 = |cond: BranchCond| -> Result<Draft, AsmError> {
+            need(2)?;
+            Ok(Draft::Branch {
+                cond,
+                rs: parse_reg(ops[0], line_no)?,
+                rt: ZERO,
+                target: PendingTarget::Label(ops[1].to_string()),
+            })
+        };
+
+        let draft = match mnem {
+            "add" | "addu" => alu3(AluOp::Add)?,
+            "sub" | "subu" => alu3(AluOp::Sub)?,
+            "and" => alu3(AluOp::And)?,
+            "or" => alu3(AluOp::Or)?,
+            "xor" => alu3(AluOp::Xor)?,
+            "nor" => alu3(AluOp::Nor)?,
+            "slt" => alu3(AluOp::Slt)?,
+            "sltu" => alu3(AluOp::Sltu)?,
+            "sllv" => alu3(AluOp::Sllv)?,
+            "srlv" => alu3(AluOp::Srlv)?,
+            "srav" => alu3(AluOp::Srav)?,
+            "mul" => alu3(AluOp::Mul)?,
+            "addi" | "addiu" => alui(AluImmOp::Addi)?,
+            "andi" => alui(AluImmOp::Andi)?,
+            "ori" => alui(AluImmOp::Ori)?,
+            "xori" => alui(AluImmOp::Xori)?,
+            "slti" => alui(AluImmOp::Slti)?,
+            "sll" => alui(AluImmOp::Sll)?,
+            "srl" => alui(AluImmOp::Srl)?,
+            "sra" => alui(AluImmOp::Sra)?,
+            "lui" => {
+                need(2)?;
+                Draft::Done(Instr::Lui {
+                    rt: parse_reg(ops[0], line_no)?,
+                    imm: parse_imm(ops[1], line_no)? as u32 & 0xffff,
+                })
+            }
+            "lw" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1], line_no)?;
+                Draft::Done(Instr::Lw {
+                    rt: parse_reg(ops[0], line_no)?,
+                    base,
+                    off,
+                })
+            }
+            "sw" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1], line_no)?;
+                Draft::Done(Instr::Sw {
+                    rt: parse_reg(ops[0], line_no)?,
+                    base,
+                    off,
+                })
+            }
+            "beq" => branch2(BranchCond::Eq)?,
+            "bne" => branch2(BranchCond::Ne)?,
+            "blez" => branch1(BranchCond::Lez)?,
+            "bgtz" => branch1(BranchCond::Gtz)?,
+            "bltz" => branch1(BranchCond::Ltz)?,
+            "bgez" => branch1(BranchCond::Gez)?,
+            "j" => {
+                need(1)?;
+                Draft::J(PendingTarget::Label(ops[0].to_string()))
+            }
+            "jal" => {
+                need(1)?;
+                Draft::Jal(PendingTarget::Label(ops[0].to_string()))
+            }
+            "jr" => {
+                need(1)?;
+                Draft::Done(Instr::Jr {
+                    rs: parse_reg(ops[0], line_no)?,
+                })
+            }
+            "swpc" => {
+                // Operands: static network number, then an address in that
+                // network's *switch* program memory (tile labels do not
+                // apply; use [`assemble_switch_labeled`] for indices).
+                need(2)?;
+                let net = parse_imm(ops[0], line_no)?;
+                let imm = parse_imm(ops[1], line_no)?;
+                if !(0..2).contains(&net) {
+                    return err(line_no, "swpc network must be 0 or 1");
+                }
+                if imm < 0 {
+                    return err(line_no, "swpc target must be non-negative");
+                }
+                Draft::Done(Instr::SwPc {
+                    net: net as u8,
+                    target: imm as usize,
+                })
+            }
+            "swpcr" => {
+                // Operands: static network number, then the register
+                // holding the switch-program address.
+                need(2)?;
+                let net = parse_imm(ops[0], line_no)?;
+                if !(0..2).contains(&net) {
+                    return err(line_no, "swpcr network must be 0 or 1");
+                }
+                Draft::Done(Instr::SwPcR {
+                    net: net as u8,
+                    rs: parse_reg(ops[1], line_no)?,
+                })
+            }
+            "popc" => {
+                need(2)?;
+                Draft::Done(Instr::Popc {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                })
+            }
+            "ext" => {
+                need(4)?;
+                Draft::Done(Instr::Ext {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                    pos: parse_imm(ops[2], line_no)? as u8,
+                    size: parse_imm(ops[3], line_no)? as u8,
+                })
+            }
+            "halt" => {
+                need(0)?;
+                Draft::Done(Instr::Halt)
+            }
+            "nop" => {
+                need(0)?;
+                Draft::Done(Instr::Nop)
+            }
+            // Pseudo-instructions.
+            "move" => {
+                need(2)?;
+                Draft::Done(Instr::Alu {
+                    op: AluOp::Or,
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                    rt: ZERO,
+                })
+            }
+            "li" => {
+                need(2)?;
+                let imm = parse_imm(ops[1], line_no)?;
+                if (-32768..=32767).contains(&imm) {
+                    Draft::Done(Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rt: parse_reg(ops[0], line_no)?,
+                        rs: ZERO,
+                        imm,
+                    })
+                } else {
+                    // li expands to lui+ori; emit the lui here and fall
+                    // through to push the ori after the match.
+                    let rt = parse_reg(ops[0], line_no)?;
+                    drafts.push((
+                        line_no,
+                        Draft::Done(Instr::Lui {
+                            rt,
+                            imm: (imm as u32) >> 16,
+                        }),
+                    ));
+                    Draft::Done(Instr::AluImm {
+                        op: AluImmOp::Ori,
+                        rt,
+                        rs: rt,
+                        imm: (imm & 0xffff),
+                    })
+                }
+            }
+            "b" => {
+                need(1)?;
+                Draft::Branch {
+                    cond: BranchCond::Eq,
+                    rs: ZERO,
+                    rt: ZERO,
+                    target: PendingTarget::Label(ops[0].to_string()),
+                }
+            }
+            _ => return err(line_no, format!("unknown mnemonic '{mnem}'")),
+        };
+        drafts.push((line_no, draft));
+    }
+
+    // Second pass: resolve labels and validate.
+    let resolve = |t: &PendingTarget, line: usize| -> Result<usize, AsmError> {
+        let PendingTarget::Label(l) = t;
+        match labels.get(l) {
+            Some(&i) => Ok(i),
+            None => err(line, format!("undefined label '{l}'")),
+        }
+    };
+    let mut out = Vec::with_capacity(drafts.len());
+    for (line, d) in &drafts {
+        let instr = match d {
+            Draft::Done(i) => *i,
+            Draft::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => Instr::Branch {
+                cond: *cond,
+                rs: *rs,
+                rt: *rt,
+                target: resolve(target, *line)?,
+            },
+            Draft::J(t) => Instr::J {
+                target: resolve(t, *line)?,
+            },
+            Draft::Jal(t) => Instr::Jal {
+                target: resolve(t, *line)?,
+            },
+        };
+        if let Err(e) = instr.validate() {
+            return err(*line, e);
+        }
+        out.push(instr);
+    }
+    if out.len() > TILE_IMEM_INSTRS {
+        return err(
+            0,
+            format!(
+                "program has {} instructions; tile instruction memory holds {}",
+                out.len(),
+                TILE_IMEM_INSTRS
+            ),
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Switch-processor assembler
+// ---------------------------------------------------------------------
+
+fn parse_sw_endpoint(
+    tok: &str,
+    line: usize,
+    is_src: bool,
+) -> Result<(SwPort, Option<usize>), AsmError> {
+    let t = tok.trim();
+    let Some(name) = t.strip_prefix('$') else {
+        return err(line, format!("expected switch port, got '{t}'"));
+    };
+    // csto / csti are the processor ports.
+    if is_src {
+        if name == "csto" {
+            return Ok((SwPort::Proc, None)); // csto is shared: net from dst
+        }
+    } else {
+        if name == "csti" {
+            return Ok((SwPort::Proc, Some(NET0)));
+        }
+        if name == "csti2" {
+            return Ok((SwPort::Proc, Some(NET1)));
+        }
+    }
+    let (body, net) = match name.strip_suffix('2') {
+        Some(b) => (b, Some(NET1)),
+        None => (name, Some(NET0)),
+    };
+    let expected_suffix = if is_src { 'i' } else { 'o' };
+    let mut chars = body.chars();
+    let (c, dirc, sufc) = (chars.next(), chars.next(), chars.next());
+    if c != Some('c') || chars.next().is_some() {
+        return err(line, format!("bad switch port '{t}'"));
+    }
+    let port = match dirc {
+        Some('N') => SwPort::N,
+        Some('E') => SwPort::E,
+        Some('S') => SwPort::S,
+        Some('W') => SwPort::W,
+        Some('P') => SwPort::Proc,
+        _ => return err(line, format!("bad switch port '{t}'")),
+    };
+    if sufc != Some(expected_suffix) {
+        return err(
+            line,
+            format!(
+                "'{t}' is not a valid {} port",
+                if is_src { "source" } else { "destination" }
+            ),
+        );
+    }
+    Ok((port, net))
+}
+
+/// Assemble switch-processor source into a [`SwitchProgram`].
+pub fn assemble_switch(src: &str) -> Result<SwitchProgram, AsmError> {
+    assemble_switch_labeled(src).map(|(p, _)| p)
+}
+
+/// Assemble switch-processor source, also returning the label →
+/// instruction-index map (needed by tile code that targets switch
+/// routines with `swpc`).
+pub fn assemble_switch_labeled(
+    src: &str,
+) -> Result<(SwitchProgram, HashMap<String, usize>), AsmError> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    enum SwDraft {
+        Routes(Vec<Route>, Option<String>),
+        Jump(String),
+        Nop,
+        WaitPc,
+    }
+    let mut drafts: Vec<(usize, SwDraft)> = Vec::new();
+
+    for (line_no, raw) in src.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut text = strip_comment(raw);
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(line_no, format!("bad label '{label}'"));
+            }
+            if labels.insert(label.to_string(), drafts.len()).is_some() {
+                return err(line_no, format!("duplicate label '{label}'"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let draft = match mnem {
+            "nop" => SwDraft::Nop,
+            "waitpc" => SwDraft::WaitPc,
+            "j" => SwDraft::Jump(rest.to_string()),
+            "route" => {
+                // Optional "; j label" control suffix.
+                let (routes_part, ctrl) = match rest.split_once(';') {
+                    Some((r, c)) => {
+                        let c = c.trim();
+                        let Some(lbl) = c.strip_prefix("j ") else {
+                            return err(line_no, format!("bad route control '{c}'"));
+                        };
+                        (r, Some(lbl.trim().to_string()))
+                    }
+                    None => (rest, None),
+                };
+                let mut routes = Vec::new();
+                for pair in routes_part.split(',') {
+                    let pair = pair.trim();
+                    let Some((s, d)) = pair.split_once("->") else {
+                        return err(line_no, format!("bad route '{pair}' (want src->dst)"));
+                    };
+                    let (src_port, src_net) = parse_sw_endpoint(s, line_no, true)?;
+                    let (dst_port, dst_net) = parse_sw_endpoint(d, line_no, false)?;
+                    let net = match (src_net, dst_net) {
+                        (None, Some(n)) => n, // csto source: net from dst
+                        (Some(a), Some(b)) if a == b => a,
+                        _ => return err(line_no, format!("route '{pair}' mixes static networks")),
+                    };
+                    routes.push(Route::new(net, src_port, dst_port));
+                }
+                if routes.is_empty() {
+                    return err(line_no, "route needs at least one src->dst pair");
+                }
+                SwDraft::Routes(routes, ctrl)
+            }
+            _ => return err(line_no, format!("unknown switch mnemonic '{mnem}'")),
+        };
+        drafts.push((line_no, draft));
+    }
+
+    let resolve = |l: &str, line: usize| -> Result<usize, AsmError> {
+        match labels.get(l) {
+            Some(&i) => Ok(i),
+            None => err(line, format!("undefined label '{l}'")),
+        }
+    };
+    let mut instrs = Vec::with_capacity(drafts.len());
+    for (line, d) in &drafts {
+        let instr = match d {
+            SwDraft::Nop => SwitchInstr::nop(),
+            SwDraft::WaitPc => SwitchInstr::wait_pc(),
+            SwDraft::Jump(l) => SwitchInstr::new(Vec::new(), SwitchCtrl::Jump(resolve(l, *line)?)),
+            SwDraft::Routes(routes, ctrl) => {
+                let ctrl = match ctrl {
+                    Some(l) => SwitchCtrl::Jump(resolve(l, *line)?),
+                    None => SwitchCtrl::Next,
+                };
+                SwitchInstr::new(routes.clone(), ctrl)
+            }
+        };
+        instrs.push(instr);
+    }
+    let prog = SwitchProgram::new(instrs);
+    if !prog.fits_switch_imem() {
+        return err(0, "switch program exceeds switch instruction memory");
+    }
+    Ok((prog, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            # stream 4 words
+            addi $t0, $zero, 4
+            li   $t1, 0x100
+        loop:
+            lw   $csto, 0($t1)
+            addi $t1, $t1, 1
+            addi $t0, $t0, -1
+            bgtz $t0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+        assert!(matches!(p[2], Instr::Lw { rt: CSTO, .. }));
+        assert!(matches!(
+            p[5],
+            Instr::Branch {
+                cond: BranchCond::Gtz,
+                target: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn li_expands_for_large_immediates() {
+        let p = assemble("li $t0, 0x12345678").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p[0], Instr::Lui { imm: 0x1234, .. }));
+        assert!(matches!(
+            p[1],
+            Instr::AluImm {
+                op: AluImmOp::Ori,
+                imm: 0x5678,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_label() {
+        let e = assemble("j nowhere").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = assemble("a:\na:\nnop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_invalid_network_usage() {
+        let e = assemble("sw $csti, 0($t0)").unwrap_err();
+        assert!(e.msg.contains("2 cycles/word"), "{e}");
+        let e = assemble("add $t0, $csto, $t1").unwrap_err();
+        assert!(e.msg.contains("write-only"));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic_and_register() {
+        assert!(assemble("frobnicate $t0").is_err());
+        assert!(assemble("addi $t9, $zero, 1").is_err());
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("addi $t0, $zero, -42\naddi $t1, $zero, 0x1f").unwrap();
+        assert!(matches!(p[0], Instr::AluImm { imm: -42, .. }));
+        assert!(matches!(p[1], Instr::AluImm { imm: 0x1f, .. }));
+    }
+
+    #[test]
+    fn assembles_switch_program() {
+        let p = assemble_switch(
+            "
+        start: route $cWi->$cPo, $csto->$cEo
+               route $cNi2->$cSo2 ; j start
+               waitpc
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instrs[0].routes.len(), 2);
+        assert_eq!(
+            p.instrs[0].routes[0],
+            Route::new(NET0, SwPort::W, SwPort::Proc)
+        );
+        assert_eq!(
+            p.instrs[0].routes[1],
+            Route::new(NET0, SwPort::Proc, SwPort::E)
+        );
+        assert_eq!(
+            p.instrs[1].routes[0],
+            Route::new(NET1, SwPort::N, SwPort::S)
+        );
+        assert_eq!(p.instrs[1].ctrl, SwitchCtrl::Jump(0));
+        assert_eq!(p.instrs[2].ctrl, SwitchCtrl::WaitPc);
+    }
+
+    #[test]
+    fn switch_csti_destination_selects_network() {
+        let p = assemble_switch("route $cNi->$csti\nroute $cNi2->$csti2").unwrap();
+        assert_eq!(
+            p.instrs[0].routes[0],
+            Route::new(NET0, SwPort::N, SwPort::Proc)
+        );
+        assert_eq!(
+            p.instrs[1].routes[0],
+            Route::new(NET1, SwPort::N, SwPort::Proc)
+        );
+    }
+
+    #[test]
+    fn switch_rejects_mixed_networks() {
+        let e = assemble_switch("route $cNi2->$cEo").unwrap_err();
+        assert!(e.msg.contains("mixes"));
+    }
+
+    #[test]
+    fn switch_rejects_bad_ports() {
+        assert!(assemble_switch("route $cXi->$cEo").is_err());
+        assert!(
+            assemble_switch("route $cNo->$cEo").is_err(),
+            "output as source"
+        );
+        assert!(
+            assemble_switch("route $cNi->$cEi").is_err(),
+            "input as destination"
+        );
+    }
+}

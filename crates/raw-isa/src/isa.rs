@@ -1,0 +1,446 @@
+//! The tile-processor instruction set.
+//!
+//! "A tile processor is a 32-bit 8-stage pipelined MIPS-like processor …
+//! roughly equivalent to that of a R4000 with a few additions for
+//! communication applications, such as bit level extraction, masking and
+//! population related operations" (§3.2). Networks are register-mapped:
+//! reading `$csti` pops a word from static network 0 (blocking), writing
+//! `$csto` pushes a word toward the switch.
+//!
+//! Instructions are kept in symbolic form (no binary encoding): the
+//! simulator interprets [`Instr`] values directly, and the instruction
+//! memory bound (8,192 words, one instruction per word) is enforced on the
+//! symbolic program length.
+
+use std::fmt;
+
+/// A register number, 0..=31. Registers 24..=28 are network-mapped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reg(pub u8);
+
+/// `$0`: always zero.
+pub const ZERO: Reg = Reg(0);
+/// Static network 0 input (`$csti`).
+pub const CSTI: Reg = Reg(24);
+/// Static network 1 input (`$csti2`).
+pub const CSTI2: Reg = Reg(25);
+/// Static network output, shared by both networks (`$csto`).
+pub const CSTO: Reg = Reg(26);
+/// Dynamic network 0 input (`$cdni`).
+pub const CDNI: Reg = Reg(27);
+/// Dynamic network 0 output (`$cdno`).
+pub const CDNO: Reg = Reg(28);
+
+impl Reg {
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number out of range: {n}");
+        Reg(n)
+    }
+
+    /// True for registers mapped to a network *input* queue.
+    #[inline]
+    pub fn is_net_input(self) -> bool {
+        self == CSTI || self == CSTI2 || self == CDNI
+    }
+
+    /// True for registers mapped to a network *output* queue.
+    #[inline]
+    pub fn is_net_output(self) -> bool {
+        self == CSTO || self == CDNO
+    }
+
+    #[inline]
+    pub fn is_network(self) -> bool {
+        self.is_net_input() || self.is_net_output()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CSTI => write!(f, "$csti"),
+            CSTI2 => write!(f, "$csti2"),
+            CSTO => write!(f, "$csto"),
+            CDNI => write!(f, "$cdni"),
+            CDNO => write!(f, "$cdno"),
+            Reg(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+/// Three-register ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Slt,
+    Sltu,
+    Sllv,
+    Srlv,
+    Srav,
+    /// Fully pipelined two-stage integer multiply (§3.2); one result per
+    /// cycle in steady state, so it costs one issue cycle like the rest.
+    Mul,
+}
+
+impl AluOp {
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Sllv => a.wrapping_shl(b & 31),
+            AluOp::Srlv => a.wrapping_shr(b & 31),
+            AluOp::Srav => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// Immediate ALU operations (shift amounts are immediates too).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluImmOp {
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Sll,
+    Srl,
+    Sra,
+}
+
+impl AluImmOp {
+    pub fn eval(self, a: u32, imm: i32) -> u32 {
+        match self {
+            AluImmOp::Addi => a.wrapping_add(imm as u32),
+            // Logical immediates are zero-extended 16-bit, as on MIPS.
+            AluImmOp::Andi => a & (imm as u32 & 0xffff),
+            AluImmOp::Ori => a | (imm as u32 & 0xffff),
+            AluImmOp::Xori => a ^ (imm as u32 & 0xffff),
+            AluImmOp::Slti => ((a as i32) < imm) as u32,
+            AluImmOp::Sll => a.wrapping_shl(imm as u32 & 31),
+            AluImmOp::Srl => a.wrapping_shr(imm as u32 & 31),
+            AluImmOp::Sra => ((a as i32).wrapping_shr(imm as u32 & 31)) as u32,
+        }
+    }
+}
+
+/// Branch conditions. `Lez/Gtz/Ltz/Gez` compare `rs` against zero.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lez,
+    Gtz,
+    Ltz,
+    Gez,
+}
+
+impl BranchCond {
+    pub fn eval(self, rs: u32, rt: u32) -> bool {
+        match self {
+            BranchCond::Eq => rs == rt,
+            BranchCond::Ne => rs != rt,
+            BranchCond::Lez => (rs as i32) <= 0,
+            BranchCond::Gtz => (rs as i32) > 0,
+            BranchCond::Ltz => (rs as i32) < 0,
+            BranchCond::Gez => (rs as i32) >= 0,
+        }
+    }
+}
+
+/// One tile-processor instruction. Branch and jump targets are resolved
+/// instruction indices (the assembler resolves labels).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    AluImm {
+        op: AluImmOp,
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Lui {
+        rt: Reg,
+        imm: u32,
+    },
+    /// Load word. Addresses are **word** addresses (the simulator's local
+    /// memories are word-addressed); `off` is in words.
+    Lw {
+        rt: Reg,
+        base: Reg,
+        off: i32,
+    },
+    /// Store word. The stored value must come from a general register —
+    /// not a network register — which is why buffering a network word to
+    /// memory takes two instructions (two cycles per word, §4.4).
+    Sw {
+        rt: Reg,
+        base: Reg,
+        off: i32,
+    },
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        target: usize,
+    },
+    J {
+        target: usize,
+    },
+    Jal {
+        target: usize,
+    },
+    Jr {
+        rs: Reg,
+    },
+    /// Load a new program counter into the switch processor driving
+    /// static network `net` (§6.5).
+    SwPc {
+        net: u8,
+        target: usize,
+    },
+    /// Load the switch program counter from a register — the §6.5 jump
+    /// table idiom ("loads the address of the configuration into the
+    /// program counter of the switch processor").
+    SwPcR {
+        net: u8,
+        rs: Reg,
+    },
+    /// Population count (a Raw "population related" bit operation).
+    Popc {
+        rd: Reg,
+        rs: Reg,
+    },
+    /// Bit-field extract: `rd = (rs >> pos) & ((1 << size) - 1)`.
+    Ext {
+        rd: Reg,
+        rs: Reg,
+        pos: u8,
+        size: u8,
+    },
+    Halt,
+    Nop,
+}
+
+/// Instruction memory limit: each tile has 8,192 words of local
+/// instruction memory, one instruction per 32-bit word.
+pub const TILE_IMEM_INSTRS: usize = 8192;
+
+/// Mispredicted branches pay a three-cycle penalty; predicted branches are
+/// free (§3.2). Prediction is static: backward branches predicted taken,
+/// forward branches predicted not-taken.
+pub const BRANCH_MISPREDICT_PENALTY: u32 = 3;
+
+impl Instr {
+    /// Source registers read by this instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Alu { rs, rt, .. } => vec![rs, rt],
+            Instr::AluImm { rs, .. } => vec![rs],
+            Instr::Lui { .. } => vec![],
+            Instr::Lw { base, .. } => vec![base],
+            Instr::Sw { rt, base, .. } => vec![rt, base],
+            Instr::Branch { cond, rs, rt, .. } => match cond {
+                BranchCond::Eq | BranchCond::Ne => vec![rs, rt],
+                _ => vec![rs],
+            },
+            Instr::Jr { rs } => vec![rs],
+            Instr::SwPcR { rs, .. } => vec![rs],
+            Instr::Popc { rs, .. } | Instr::Ext { rs, .. } => vec![rs],
+            _ => vec![],
+        }
+    }
+
+    /// Destination register written, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. } | Instr::Popc { rd, .. } | Instr::Ext { rd, .. } => Some(rd),
+            Instr::AluImm { rt, .. } | Instr::Lui { rt, .. } | Instr::Lw { rt, .. } => Some(rt),
+            Instr::Jal { .. } => Some(Reg(31)),
+            _ => None,
+        }
+    }
+
+    /// Validate the structural constraints the hardware (and our cost
+    /// model) imposes. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let srcs = self.sources();
+        // Network inputs may appear as sources; network outputs may not.
+        for s in &srcs {
+            if s.is_net_output() {
+                return Err(format!("{s} is write-only (network output)"));
+            }
+        }
+        // At most one *copy* of each network input per instruction (a
+        // single pop per queue per cycle).
+        for (i, a) in srcs.iter().enumerate() {
+            if a.is_net_input() && srcs[i + 1..].contains(a) {
+                return Err(format!("{a} read twice in one instruction"));
+            }
+        }
+        if let Some(d) = self.dest() {
+            if d.is_net_input() {
+                return Err(format!("{d} is read-only (network input)"));
+            }
+            if d == ZERO {
+                // Writing $0 is legal and discarded, as on MIPS.
+            }
+        }
+        match *self {
+            // Memory addressing must come from general registers.
+            Instr::Lw { base, .. } | Instr::Sw { base, .. } if base.is_network() => {
+                Err("memory base register cannot be a network register".into())
+            }
+            // The paper's cost model: a store's data comes from a general
+            // register, making receive+store two cycles per word.
+            Instr::Sw { rt, .. } if rt.is_network() => {
+                Err("sw source cannot be a network register (buffering is 2 cycles/word)".into())
+            }
+            Instr::Branch { rs, rt, .. } if rs.is_network() || rt.is_network() => {
+                Err("branch operands cannot be network registers".into())
+            }
+            Instr::Jr { rs } if rs.is_network() => {
+                Err("jr target cannot be a network register".into())
+            }
+            Instr::SwPcR { rs, .. } if rs.is_network() => {
+                Err("swpcr source cannot be a network register".into())
+            }
+            Instr::Ext { pos, size, .. } if pos >= 32 || size == 0 || size > 32 => {
+                Err("ext bit-field out of range".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(3, 5), (-2i32) as u32);
+        assert_eq!(AluOp::Slt.eval((-1i32) as u32, 0), 1);
+        assert_eq!(AluOp::Sltu.eval((-1i32) as u32, 0), 0);
+        assert_eq!(AluOp::Nor.eval(0, 0), u32::MAX);
+        assert_eq!(AluOp::Srav.eval(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Mul.eval(7, 6), 42);
+    }
+
+    #[test]
+    fn imm_semantics() {
+        assert_eq!(AluImmOp::Addi.eval(5, -3), 2);
+        assert_eq!(AluImmOp::Andi.eval(0xffff_ffff, -1), 0xffff);
+        assert_eq!(AluImmOp::Ori.eval(0, 0x1234), 0x1234);
+        assert_eq!(AluImmOp::Sll.eval(1, 4), 16);
+        assert_eq!(AluImmOp::Sra.eval(0x8000_0000, 4), 0xf800_0000);
+        assert_eq!(AluImmOp::Slti.eval((-5i32) as u32, 0), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lez.eval(0, 0));
+        assert!(BranchCond::Gtz.eval(1, 0));
+        assert!(BranchCond::Ltz.eval((-1i32) as u32, 0));
+        assert!(BranchCond::Gez.eval(0, 0));
+    }
+
+    #[test]
+    fn network_register_predicates() {
+        assert!(CSTI.is_net_input());
+        assert!(CSTI2.is_net_input());
+        assert!(CDNI.is_net_input());
+        assert!(CSTO.is_net_output());
+        assert!(CDNO.is_net_output());
+        assert!(!Reg(5).is_network());
+    }
+
+    #[test]
+    fn validation_rejects_bad_network_usage() {
+        // csto as a source
+        assert!(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: CSTO,
+            rt: Reg(2)
+        }
+        .validate()
+        .is_err());
+        // csti as a destination
+        assert!(Instr::AluImm {
+            op: AluImmOp::Addi,
+            rt: CSTI,
+            rs: Reg(1),
+            imm: 0
+        }
+        .validate()
+        .is_err());
+        // double read of one queue
+        assert!(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: CSTI,
+            rt: CSTI
+        }
+        .validate()
+        .is_err());
+        // two different queues is fine
+        assert!(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: CSTI,
+            rt: CSTI2
+        }
+        .validate()
+        .is_ok());
+        // sw from a network register is the forbidden 1-cycle buffering
+        assert!(Instr::Sw {
+            rt: CSTI,
+            base: Reg(2),
+            off: 0
+        }
+        .validate()
+        .is_err());
+        // lw into csto is the legal 1-cycle load-and-forward
+        assert!(Instr::Lw {
+            rt: CSTO,
+            base: Reg(2),
+            off: 0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn sources_and_dest() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs: Reg(1),
+            rt: Reg(2),
+        };
+        assert_eq!(i.sources(), vec![Reg(1), Reg(2)]);
+        assert_eq!(i.dest(), Some(Reg(3)));
+        assert_eq!(Instr::Jal { target: 0 }.dest(), Some(Reg(31)));
+        assert_eq!(Instr::Halt.dest(), None);
+    }
+}

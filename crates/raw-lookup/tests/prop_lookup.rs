@@ -1,0 +1,93 @@
+//! Property tests: the two lookup engines implement the same
+//! longest-prefix-match function, and both agree with a naive
+//! linear-scan oracle.
+
+use proptest::prelude::*;
+use raw_lookup::*;
+
+fn oracle(routes: &[RouteEntry], addr: u32) -> Option<u32> {
+    // Linear scan for the longest matching prefix; later exact
+    // duplicates replace earlier ones (insert semantics).
+    let mut dedup: Vec<RouteEntry> = Vec::new();
+    for r in routes {
+        match dedup
+            .iter_mut()
+            .find(|c| c.len == r.len && c.prefix == r.prefix)
+        {
+            Some(c) => c.next_hop = r.next_hop,
+            None => dedup.push(*r),
+        }
+    }
+    dedup
+        .iter()
+        .filter(|r| r.matches(addr))
+        .max_by_key(|r| r.len)
+        .map(|r| r.next_hop)
+}
+
+fn arb_route() -> impl Strategy<Value = RouteEntry> {
+    (any::<u32>(), 0u8..=32, 0u32..8).prop_map(|(p, l, h)| RouteEntry::new(p, l, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn patricia_matches_oracle(
+        routes in proptest::collection::vec(arb_route(), 0..60),
+        addrs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut t = PatriciaTable::new();
+        for r in &routes {
+            t.insert(*r);
+        }
+        for a in addrs {
+            prop_assert_eq!(t.lookup(a), oracle(&routes, a), "addr {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn dir24_matches_oracle(
+        routes in proptest::collection::vec(arb_route(), 0..60),
+        addrs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let d = DirTable::with_bits(&routes, 20);
+        for a in addrs {
+            prop_assert_eq!(d.lookup(a), oracle(&routes, a), "addr {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(
+        routes in proptest::collection::vec(arb_route(), 1..40),
+        extra in arb_route(),
+        addrs in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        // Skip if `extra` collides with an existing prefix (removal would
+        // then expose the pre-existing route, which is correct but not
+        // the identity being tested).
+        prop_assume!(!routes.iter().any(|r| r.len == extra.len && r.prefix == extra.prefix));
+        let mut t = PatriciaTable::new();
+        for r in &routes {
+            t.insert(*r);
+        }
+        let before: Vec<_> = addrs.iter().map(|&a| t.lookup(a)).collect();
+        t.insert(extra);
+        prop_assert_eq!(t.remove(extra.prefix, extra.len), Some(extra.next_hop));
+        let after: Vec<_> = addrs.iter().map(|&a| t.lookup(a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn patricia_visit_count_bounded(
+        routes in proptest::collection::vec(arb_route(), 0..80),
+        addr in any::<u32>(),
+    ) {
+        let mut t = PatriciaTable::new();
+        for r in &routes {
+            t.insert(*r);
+        }
+        let (_, visited) = t.lookup_traced(addr);
+        prop_assert!(visited <= 34, "visited {} nodes", visited);
+    }
+}

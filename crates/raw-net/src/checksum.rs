@@ -1,0 +1,102 @@
+//! The Internet checksum (RFC 1071) and its incremental update
+//! (RFC 1624), as computed by the Ingress Processor when it verifies a
+//! header and decrements the TTL.
+
+/// One's-complement sum over 16-bit big-endian words. An odd trailing
+/// byte is padded with zero, per RFC 1071.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [b] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*b, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// The Internet checksum of `data` (the field itself must be zeroed or
+/// excluded by the caller).
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Verify a block whose checksum field is in place: the one's-complement
+/// sum of the whole block must be `0xffff`.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xffff
+}
+
+/// RFC 1624 incremental update: recompute a checksum after one 16-bit
+/// word of the covered data changed from `old_word` to `new_word`.
+/// This is the constant-time path a router uses for the TTL decrement.
+pub fn incremental_update(old_check: u16, old_word: u16, new_word: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    let mut sum = u32::from(!old_check) + u32::from(!old_word) + u32::from(new_word);
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The classic RFC 1071 worked example.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum_roundtrip_verifies() {
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0, 0,
+        ];
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = (c & 0xff) as u8;
+        assert!(verify(&data));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // RFC 1071: odd byte is treated as the high byte of a final word.
+        assert_eq!(ones_complement_sum(&[0xab]), 0xab00);
+        assert_eq!(ones_complement_sum(&[0x12, 0x34, 0x56]), 0x1234 + 0x5600);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        // TTL decrement changes the (TTL, protocol) 16-bit word.
+        let mut hdr = vec![
+            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 64, 6, 0, 0, 10, 1, 2, 3, 10, 4, 5, 6,
+        ];
+        let c0 = checksum(&hdr);
+        hdr[10] = (c0 >> 8) as u8;
+        hdr[11] = (c0 & 0xff) as u8;
+        assert!(verify(&hdr));
+        // Decrement TTL 64 -> 63.
+        let old_word = u16::from_be_bytes([hdr[8], hdr[9]]);
+        hdr[8] = 63;
+        let new_word = u16::from_be_bytes([hdr[8], hdr[9]]);
+        let c1_inc = incremental_update(c0, old_word, new_word);
+        hdr[10] = 0;
+        hdr[11] = 0;
+        let c1_full = checksum(&hdr);
+        assert_eq!(c1_inc, c1_full);
+    }
+
+    #[test]
+    fn all_zero_data() {
+        assert_eq!(checksum(&[0u8; 20]), 0xffff);
+    }
+}

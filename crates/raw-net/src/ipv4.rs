@@ -1,0 +1,258 @@
+//! IPv4 header handling: parse, build, verify, and the per-hop mutation a
+//! router applies (TTL decrement with incremental checksum update).
+
+use crate::checksum;
+
+/// Errors from header parsing or per-hop processing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IpError {
+    Truncated,
+    BadVersion(u8),
+    BadIhl(u8),
+    BadChecksum,
+    TtlExpired,
+    BadTotalLength,
+}
+
+impl std::fmt::Display for IpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpError::Truncated => write!(f, "truncated header"),
+            IpError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            IpError::BadIhl(i) => write!(f, "bad IHL {i}"),
+            IpError::BadChecksum => write!(f, "header checksum mismatch"),
+            IpError::TtlExpired => write!(f, "TTL expired"),
+            IpError::BadTotalLength => write!(f, "bad total length"),
+        }
+    }
+}
+
+impl std::error::Error for IpError {}
+
+/// A parsed IPv4 header (options unsupported: IHL must be 5, the common
+/// case the paper's fast path handles).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv4Header {
+    pub dscp_ecn: u8,
+    pub total_len: u16,
+    pub id: u16,
+    pub flags_frag: u16,
+    pub ttl: u8,
+    pub proto: u8,
+    pub checksum: u16,
+    pub src: u32,
+    pub dst: u32,
+}
+
+/// Header length in bytes (IHL=5).
+pub const IPV4_HEADER_BYTES: usize = 20;
+/// Header length in 32-bit words.
+pub const IPV4_HEADER_WORDS: usize = 5;
+
+impl Ipv4Header {
+    /// A fresh header with a correct checksum.
+    pub fn new(src: u32, dst: u32, total_len: u16, ttl: u8, proto: u8) -> Ipv4Header {
+        let mut h = Ipv4Header {
+            dscp_ecn: 0,
+            total_len,
+            id: 0,
+            flags_frag: 0x4000, // DF, as modern stacks default
+            ttl,
+            proto,
+            checksum: 0,
+            src,
+            dst,
+        };
+        h.checksum = h.compute_checksum();
+        h
+    }
+
+    /// Parse and fully validate (version, IHL, checksum, total length).
+    pub fn parse(b: &[u8]) -> Result<Ipv4Header, IpError> {
+        if b.len() < IPV4_HEADER_BYTES {
+            return Err(IpError::Truncated);
+        }
+        let version = b[0] >> 4;
+        if version != 4 {
+            return Err(IpError::BadVersion(version));
+        }
+        let ihl = b[0] & 0xf;
+        if ihl != 5 {
+            return Err(IpError::BadIhl(ihl));
+        }
+        if !checksum::verify(&b[..IPV4_HEADER_BYTES]) {
+            return Err(IpError::BadChecksum);
+        }
+        let h = Ipv4Header {
+            dscp_ecn: b[1],
+            total_len: u16::from_be_bytes([b[2], b[3]]),
+            id: u16::from_be_bytes([b[4], b[5]]),
+            flags_frag: u16::from_be_bytes([b[6], b[7]]),
+            ttl: b[8],
+            proto: b[9],
+            checksum: u16::from_be_bytes([b[10], b[11]]),
+            src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+            dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+        };
+        if (h.total_len as usize) < IPV4_HEADER_BYTES {
+            return Err(IpError::BadTotalLength);
+        }
+        Ok(h)
+    }
+
+    /// Serialize to 20 bytes with the stored checksum field.
+    pub fn to_bytes(&self) -> [u8; IPV4_HEADER_BYTES] {
+        let mut b = [0u8; IPV4_HEADER_BYTES];
+        b[0] = 0x45;
+        b[1] = self.dscp_ecn;
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.id.to_be_bytes());
+        b[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.proto;
+        b[10..12].copy_from_slice(&self.checksum.to_be_bytes());
+        b[12..16].copy_from_slice(&self.src.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        b
+    }
+
+    /// The correct checksum for the current field values.
+    pub fn compute_checksum(&self) -> u16 {
+        let mut b = self.to_bytes();
+        b[10] = 0;
+        b[11] = 0;
+        checksum::checksum(&b)
+    }
+
+    /// True if the stored checksum matches the fields.
+    pub fn checksum_ok(&self) -> bool {
+        checksum::verify(&self.to_bytes())
+    }
+
+    /// The per-hop forwarding mutation (§4.2: "the necessary processing of
+    /// the IP header, including the checksum computation and decrement of
+    /// the 'Time to Live' field"). Uses the RFC 1624 incremental update.
+    pub fn forward_hop(&mut self) -> Result<(), IpError> {
+        if self.ttl <= 1 {
+            return Err(IpError::TtlExpired);
+        }
+        let old_word = u16::from_be_bytes([self.ttl, self.proto]);
+        self.ttl -= 1;
+        let new_word = u16::from_be_bytes([self.ttl, self.proto]);
+        self.checksum = checksum::incremental_update(self.checksum, old_word, new_word);
+        Ok(())
+    }
+
+    /// Header as five big-endian 32-bit words (the shape in which it
+    /// travels over the static network to the Lookup Processor).
+    pub fn to_words(&self) -> [u32; IPV4_HEADER_WORDS] {
+        let b = self.to_bytes();
+        std::array::from_fn(|i| {
+            u32::from_be_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]])
+        })
+    }
+
+    /// Inverse of [`Ipv4Header::to_words`], with validation.
+    pub fn from_words(w: &[u32; IPV4_HEADER_WORDS]) -> Result<Ipv4Header, IpError> {
+        let mut b = [0u8; IPV4_HEADER_BYTES];
+        for (i, word) in w.iter().enumerate() {
+            b[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Ipv4Header::parse(&b)
+    }
+}
+
+/// Render a dotted-quad address (diagnostics).
+pub fn fmt_addr(a: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (a >> 24) & 0xff,
+        (a >> 16) & 0xff,
+        (a >> 8) & 0xff,
+        a & 0xff
+    )
+}
+
+/// Parse a dotted-quad address.
+pub fn parse_addr(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut a: u32 = 0;
+    for _ in 0..4 {
+        let oct: u32 = parts.next()?.parse().ok()?;
+        if oct > 255 {
+            return None;
+        }
+        a = (a << 8) | oct;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header::new(
+            parse_addr("10.0.0.1").unwrap(),
+            parse_addr("192.168.1.7").unwrap(),
+            1024,
+            64,
+            6,
+        )
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let h = hdr();
+        assert!(h.checksum_ok());
+        let b = h.to_bytes();
+        let p = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(p, h);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let h = hdr();
+        let w = h.to_words();
+        assert_eq!(Ipv4Header::from_words(&w).unwrap(), h);
+        // First word carries version/IHL in the top byte.
+        assert_eq!(w[0] >> 24, 0x45);
+    }
+
+    #[test]
+    fn forward_hop_keeps_checksum_valid() {
+        let mut h = hdr();
+        for expected_ttl in (1..64).rev() {
+            h.forward_hop().unwrap();
+            assert_eq!(h.ttl, expected_ttl);
+            assert!(h.checksum_ok(), "checksum broke at ttl {expected_ttl}");
+        }
+        assert_eq!(h.forward_hop(), Err(IpError::TtlExpired));
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let h = hdr();
+        let mut b = h.to_bytes();
+        b[16] ^= 0x40; // flip a destination bit
+        assert_eq!(Ipv4Header::parse(&b), Err(IpError::BadChecksum));
+        let mut b = h.to_bytes();
+        b[0] = 0x65; // IPv6 version nibble
+        assert!(matches!(Ipv4Header::parse(&b), Err(IpError::BadVersion(6))));
+        let mut b = h.to_bytes();
+        b[0] = 0x46; // IHL 6 (options) unsupported on the fast path
+        assert!(matches!(Ipv4Header::parse(&b), Err(IpError::BadIhl(6))));
+        assert_eq!(Ipv4Header::parse(&b[..10]), Err(IpError::Truncated));
+    }
+
+    #[test]
+    fn addr_helpers() {
+        assert_eq!(parse_addr("1.2.3.4"), Some(0x01020304));
+        assert_eq!(parse_addr("256.0.0.1"), None);
+        assert_eq!(parse_addr("1.2.3"), None);
+        assert_eq!(fmt_addr(0xC0A80107), "192.168.1.7");
+    }
+}

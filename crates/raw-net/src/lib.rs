@@ -1,0 +1,23 @@
+//! # raw-net — the IPv4 substrate of the Raw router
+//!
+//! Everything the router's data path needs to speak IP:
+//!
+//! * [`checksum`] — the Internet checksum, including the RFC 1624
+//!   incremental update used for TTL decrements;
+//! * [`ipv4`] — header parse/build/validate and the per-hop forwarding
+//!   mutation performed by the Ingress Processor;
+//! * [`packet`] — whole packets as 32-bit word streams (the form in which
+//!   line cards feed the Raw static network);
+//! * [`frag`] — the router's internal fragmentation framing: packets
+//!   larger than one routing quantum cross the Rotating Crossbar as
+//!   tagged fragments and are reassembled by the Egress Processor (§4.2),
+//!   with spare tag bits carrying the §8.3 compute-in-fabric opcode.
+
+pub mod checksum;
+pub mod frag;
+pub mod ipv4;
+pub mod packet;
+
+pub use frag::{fragment, ComputeOp, FragTag, Fragment, ReasmError, Reassembler, MAX_FRAG_WORDS};
+pub use ipv4::{fmt_addr, parse_addr, IpError, Ipv4Header, IPV4_HEADER_BYTES, IPV4_HEADER_WORDS};
+pub use packet::Packet;

@@ -1,0 +1,139 @@
+//! Whole packets as the router sees them: an IPv4 header plus payload,
+//! convertible to and from the 32-bit word streams that flow over the Raw
+//! static network edge ports.
+
+use crate::ipv4::{IpError, Ipv4Header, IPV4_HEADER_BYTES, IPV4_HEADER_WORDS};
+
+/// An IPv4 packet. `payload` excludes the header; the header's
+/// `total_len` is kept consistent with `payload.len()`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    pub header: Ipv4Header,
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Build a packet of exactly `total_bytes` (header + payload), with a
+    /// deterministic payload pattern derived from `seed`.
+    pub fn synthetic(src: u32, dst: u32, total_bytes: usize, ttl: u8, seed: u32) -> Packet {
+        assert!(
+            (IPV4_HEADER_BYTES..=65535).contains(&total_bytes),
+            "total length out of range: {total_bytes}"
+        );
+        let payload_len = total_bytes - IPV4_HEADER_BYTES;
+        let mut payload = Vec::with_capacity(payload_len);
+        let mut x = seed ^ 0x9e37_79b9;
+        for i in 0..payload_len {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            payload.push((x >> 24) as u8 ^ i as u8);
+        }
+        Packet {
+            header: Ipv4Header::new(src, dst, total_bytes as u16, ttl, 17),
+            payload,
+        }
+    }
+
+    /// Total on-wire length in bytes.
+    pub fn total_bytes(&self) -> usize {
+        IPV4_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Total length in 32-bit words, rounding the payload up to a whole
+    /// word (the static network moves whole words; the header's
+    /// `total_len` preserves the exact byte count).
+    pub fn total_words(&self) -> usize {
+        IPV4_HEADER_WORDS + self.payload.len().div_ceil(4)
+    }
+
+    /// Serialize to the word stream a line card feeds into the chip.
+    pub fn to_words(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total_words());
+        out.extend_from_slice(&self.header.to_words());
+        let mut chunks = self.payload.chunks_exact(4);
+        for c in &mut chunks {
+            out.push(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 4];
+            last[..rem.len()].copy_from_slice(rem);
+            out.push(u32::from_be_bytes(last));
+        }
+        out
+    }
+
+    /// Parse a word stream back into a packet, validating the header and
+    /// length framing.
+    pub fn from_words(words: &[u32]) -> Result<Packet, IpError> {
+        if words.len() < IPV4_HEADER_WORDS {
+            return Err(IpError::Truncated);
+        }
+        let mut hw = [0u32; IPV4_HEADER_WORDS];
+        hw.copy_from_slice(&words[..IPV4_HEADER_WORDS]);
+        let header = Ipv4Header::from_words(&hw)?;
+        let payload_len = header.total_len as usize - IPV4_HEADER_BYTES;
+        let need_words = IPV4_HEADER_WORDS + payload_len.div_ceil(4);
+        if words.len() < need_words {
+            return Err(IpError::Truncated);
+        }
+        let mut payload = Vec::with_capacity(payload_len);
+        for (i, w) in words[IPV4_HEADER_WORDS..need_words].iter().enumerate() {
+            let b = w.to_be_bytes();
+            let take = (payload_len - 4 * i).min(4);
+            payload.extend_from_slice(&b[..take]);
+        }
+        Ok(Packet { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sizes_match_paper_sweep() {
+        // The evaluation sweeps 64..1024-byte packets.
+        for size in [64usize, 128, 256, 512, 1024] {
+            let p = Packet::synthetic(1, 2, size, 64, 42);
+            assert_eq!(p.total_bytes(), size);
+            assert_eq!(p.header.total_len as usize, size);
+            assert_eq!(p.total_words(), size / 4, "sizes are word multiples");
+        }
+    }
+
+    #[test]
+    fn word_roundtrip_exact() {
+        let p = Packet::synthetic(0x0a000001, 0xc0a80101, 256, 64, 7);
+        let w = p.to_words();
+        assert_eq!(w.len(), 64);
+        let q = Packet::from_words(&w).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn word_roundtrip_unaligned_payload() {
+        // 67 bytes: payload of 47 bytes, 12 words ceil -> padding in play.
+        let p = Packet::synthetic(1, 2, 67, 9, 3);
+        let w = p.to_words();
+        assert_eq!(w.len(), 5 + 12);
+        let q = Packet::from_words(&w).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn from_words_rejects_truncation() {
+        let p = Packet::synthetic(1, 2, 128, 64, 1);
+        let w = p.to_words();
+        assert!(Packet::from_words(&w[..3]).is_err());
+        assert!(Packet::from_words(&w[..w.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn deterministic_payloads() {
+        let a = Packet::synthetic(1, 2, 512, 64, 5);
+        let b = Packet::synthetic(1, 2, 512, 64, 5);
+        let c = Packet::synthetic(1, 2, 512, 64, 6);
+        assert_eq!(a, b);
+        assert_ne!(a.payload, c.payload);
+    }
+}

@@ -1,0 +1,96 @@
+use raw_sim::*;
+
+fn main() {
+    let mut m = RawMachine::new(RawConfig::default());
+    // Tile 5: one instruction with two routes: W->E and S->N, looped.
+    m.set_switch_program(
+        TileId(5),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![
+                Route::new(NET0, SwPort::W, SwPort::E),
+                Route::new(NET0, SwPort::S, SwPort::N),
+            ],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    // Feed both inputs from neighbors: tile 4 routes W-edge->E, tile 9 routes S-edge... tile 9 is south of 5; feed from tile 9's own west edge? Use tile 4 (west) and tile 9->north.
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::E)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    m.set_switch_program(
+        TileId(9),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::N)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    m.bind_device(
+        EdgePort::new(TileId(4), Dir::West, NET0),
+        Box::new(WordSource::new(0..200u32)),
+    );
+    m.bind_device(
+        EdgePort::new(TileId(8), Dir::West, NET0),
+        Box::new(WordSource::new(1000..1200u32)),
+    );
+    m.set_switch_program(
+        TileId(8),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::E)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    // tile 8 routes west-edge east to tile 9; tile 9 routes W->N into tile 5 south port.
+    // Sinks: tile 6 W->E to edge 7; tile 1 S->N to edge.
+    m.set_switch_program(
+        TileId(6),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::E)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    m.set_switch_program(
+        TileId(7),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::E)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    let (s1, h1) = WordSink::new();
+    m.bind_device(EdgePort::new(TileId(7), Dir::East, NET0), Box::new(s1));
+    m.set_switch_program(
+        TileId(1),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::S, SwPort::N)],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    let (s2, h2) = WordSink::new();
+    m.bind_device(EdgePort::new(TileId(1), Dir::North, NET0), Box::new(s2));
+    m.run(400);
+    let a = h1.lock().unwrap();
+    let b = h2.lock().unwrap();
+    println!("sink1 got {} words, sink2 got {}", a.len(), b.len());
+    let rate = |v: &Vec<(u64, u32)>| {
+        if v.len() > 10 {
+            (v[v.len() - 1].0 - v[10].0) as f64 / (v.len() - 11) as f64
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "steady rates: {:.2} and {:.2} cycles/word",
+        rate(&a),
+        rate(&b)
+    );
+}

@@ -1,0 +1,159 @@
+//! Timestamped flow-controlled FIFOs, the basic transport element of every
+//! on-chip network queue in the simulator.
+//!
+//! Each entry carries the cycle at which it was enqueued. A consumer may
+//! only observe entries that are at least one cycle old (`visible_delay`
+//! hops of pipeline), which is what limits words to one network hop per
+//! cycle and gives the static network the 3-cycle send-to-use latency of
+//! Figure 3-2 without any global ordering of component updates inside a
+//! cycle.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of 32-bit words tagged with their enqueue cycle.
+#[derive(Clone, Debug)]
+pub struct TsFifo {
+    entries: VecDeque<(u32, u64)>,
+    capacity: usize,
+}
+
+impl TsFifo {
+    /// A FIFO holding at most `capacity` words. Raw's network input blocks
+    /// hold four elements; the simulator default follows that.
+    pub fn new(capacity: usize) -> TsFifo {
+        assert!(capacity >= 1, "a FIFO must hold at least one word");
+        TsFifo {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Space for another word right now.
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Enqueue `word` during `cycle`. Returns `false` (and drops nothing)
+    /// if the FIFO is full — callers model backpressure by retrying on a
+    /// later cycle.
+    #[inline]
+    #[must_use]
+    pub fn push(&mut self, word: u32, cycle: u64) -> bool {
+        if self.has_space() {
+            self.entries.push_back((word, cycle));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The front word, if one was enqueued at least `delay + 1` cycles
+    /// before `cycle` (i.e. is visible to a consumer with `delay` extra
+    /// pipeline stages; network switches use `delay == 0`, the tile
+    /// processor's decode stage adds `delay == 1`).
+    #[inline]
+    pub fn peek_visible(&self, cycle: u64, delay: u64) -> Option<u32> {
+        match self.entries.front() {
+            Some(&(w, ts)) if ts + delay < cycle => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True if [`TsFifo::peek_visible`] would return a word.
+    #[inline]
+    pub fn has_visible(&self, cycle: u64, delay: u64) -> bool {
+        self.peek_visible(cycle, delay).is_some()
+    }
+
+    /// Dequeue the front word if visible.
+    #[inline]
+    pub fn pop_visible(&mut self, cycle: u64, delay: u64) -> Option<u32> {
+        if self.has_visible(cycle, delay) {
+            self.entries.pop_front().map(|(w, _)| w)
+        } else {
+            None
+        }
+    }
+
+    /// Remove every queued word (used when resetting a machine).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterate over queued words front-to-back (diagnostics only).
+    pub fn iter_words(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|&(w, _)| w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_capacity() {
+        let mut f = TsFifo::new(2);
+        assert!(f.push(1, 0));
+        assert!(f.push(2, 0));
+        assert!(!f.push(3, 0));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn same_cycle_entries_are_invisible() {
+        let mut f = TsFifo::new(4);
+        assert!(f.push(42, 5));
+        // A switch (delay 0) cannot consume a word the same cycle it arrived.
+        assert_eq!(f.peek_visible(5, 0), None);
+        assert_eq!(f.peek_visible(6, 0), Some(42));
+        // The processor decode stage (delay 1) sees it one cycle later still.
+        assert_eq!(f.peek_visible(6, 1), None);
+        assert_eq!(f.peek_visible(7, 1), Some(42));
+    }
+
+    #[test]
+    fn pop_preserves_order() {
+        let mut f = TsFifo::new(4);
+        for (i, w) in [10u32, 11, 12].iter().enumerate() {
+            assert!(f.push(*w, i as u64));
+        }
+        assert_eq!(f.pop_visible(100, 0), Some(10));
+        assert_eq!(f.pop_visible(100, 0), Some(11));
+        assert_eq!(f.pop_visible(100, 0), Some(12));
+        assert_eq!(f.pop_visible(100, 0), None);
+    }
+
+    #[test]
+    fn pop_respects_visibility() {
+        let mut f = TsFifo::new(4);
+        assert!(f.push(7, 10));
+        assert_eq!(f.pop_visible(10, 0), None);
+        assert_eq!(f.len(), 1, "an invisible word must not be consumed");
+        assert_eq!(f.pop_visible(11, 0), Some(7));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = TsFifo::new(4);
+        assert!(f.push(1, 0));
+        f.clear();
+        assert!(f.is_empty());
+        assert!(f.has_space());
+    }
+}

@@ -1,0 +1,587 @@
+//! The whole-chip cycle-driven machine: tiles, switches, networks, devices.
+//!
+//! Execution order within a cycle is fixed and deterministic:
+//!
+//! 1. edge devices inject words into edge input FIFOs;
+//! 2. tile processors tick (at most one retiring action each);
+//! 3. switch processors evaluate their current instruction's routes;
+//! 4. the dynamic networks advance one hop.
+//!
+//! Every FIFO entry is timestamped and only consumable on a *later* cycle,
+//! so no word moves more than one network hop per cycle regardless of the
+//! iteration order, and the tile-processor receive path carries one extra
+//! cycle of decode delay — together these reproduce the 5-cycle
+//! tile-to-tile send of Figure 3-2.
+
+use std::collections::BTreeMap;
+
+use crate::cache::{CacheConfig, DCache, MissModel};
+use crate::device::{EdgeDevice, EdgePort};
+use crate::dynamic::DynNet;
+use crate::fifo::TsFifo;
+use crate::geom::{GridDim, TileId};
+use crate::program::{IdleProgram, TileIo, TileProgram};
+use crate::switch::{Route, SwPort, SwitchCtrl, SwitchProgram, SwitchState, NUM_STATIC_NETS};
+use crate::trace::{Activity, TileStats, TraceWindow};
+
+/// Machine-wide configuration. Defaults model the 250 MHz Raw prototype.
+#[derive(Clone, Debug)]
+pub struct RawConfig {
+    pub dim: GridDim,
+    /// Capacity of each static-network link input FIFO (Raw: 4).
+    pub link_fifo_capacity: usize,
+    /// Capacity of each `$csti` FIFO.
+    pub csti_capacity: usize,
+    /// Capacity of the shared `$csto` FIFO.
+    pub csto_capacity: usize,
+    /// Extra pipeline delay on processor network reads (decode stage).
+    pub proc_recv_delay: u64,
+    pub cache: CacheConfig,
+    pub miss_model: MissModel,
+    pub dirty_evict_penalty: u32,
+    /// Per-tile local memory size in words (backing store behind the cache).
+    pub local_mem_words: usize,
+    pub dyn_fifo_capacity: usize,
+    pub cdni_capacity: usize,
+    /// Clock frequency used to convert cycles to seconds (Raw: 250 MHz).
+    pub clock_mhz: u64,
+}
+
+impl Default for RawConfig {
+    fn default() -> Self {
+        RawConfig {
+            dim: GridDim::RAW_PROTOTYPE,
+            link_fifo_capacity: 4,
+            csti_capacity: 4,
+            csto_capacity: 4,
+            proc_recv_delay: 1,
+            cache: CacheConfig::RAW_PROTOTYPE,
+            miss_model: MissModel::default(),
+            dirty_evict_penalty: 12,
+            local_mem_words: 1 << 20,
+            dyn_fifo_capacity: 4,
+            cdni_capacity: 8,
+            clock_mhz: 250,
+        }
+    }
+}
+
+struct Tile {
+    program: Option<Box<dyn TileProgram>>,
+    switch_prog: [SwitchProgram; NUM_STATIC_NETS],
+    switch_state: [SwitchState; NUM_STATIC_NETS],
+    cache: DCache,
+    mem: Vec<u32>,
+    stall_until: u64,
+    csti: [TsFifo; NUM_STATIC_NETS],
+    csto: TsFifo,
+    stats: TileStats,
+    /// Cycles the switch spent with an instruction unable to complete.
+    switch_stall_cycles: u64,
+    last_activity: Activity,
+}
+
+/// The simulated Raw chip.
+pub struct RawMachine {
+    cfg: RawConfig,
+    cycle: u64,
+    tiles: Vec<Tile>,
+    /// Static-network link input FIFOs: `link_in[tile][net][dir]` holds
+    /// words that arrived *at* `tile` from direction `dir` and await
+    /// routing by `tile`'s switch.
+    link_in: Vec<[[TsFifo; 4]; NUM_STATIC_NETS]>,
+    dyn_nets: Vec<DynNet>,
+    devices: Vec<Box<dyn EdgeDevice>>,
+    device_index: BTreeMap<EdgePort, usize>,
+    device_ports: Vec<EdgePort>,
+    trace: Option<TraceWindow>,
+    /// Cycle at which something last made forward progress.
+    last_progress: u64,
+    /// Words dropped at unbound edge output ports.
+    pub edge_drops: u64,
+    /// Total static-network route firings.
+    pub routes_fired: u64,
+    dyn_moved_before: u64,
+}
+
+impl RawMachine {
+    pub fn new(cfg: RawConfig) -> RawMachine {
+        let n = cfg.dim.tiles();
+        let tiles = (0..n)
+            .map(|_| Tile {
+                program: Some(Box::new(IdleProgram)),
+                switch_prog: std::array::from_fn(|_| SwitchProgram::idle()),
+                switch_state: std::array::from_fn(|_| SwitchState::new()),
+                cache: DCache::new(cfg.cache, cfg.miss_model, cfg.dirty_evict_penalty),
+                mem: vec![0u32; cfg.local_mem_words],
+                stall_until: 0,
+                csti: std::array::from_fn(|_| TsFifo::new(cfg.csti_capacity)),
+                csto: TsFifo::new(cfg.csto_capacity),
+                stats: TileStats::default(),
+                switch_stall_cycles: 0,
+                last_activity: Activity::Idle,
+            })
+            .collect();
+        let link_in = (0..n)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    std::array::from_fn(|_| TsFifo::new(cfg.link_fifo_capacity))
+                })
+            })
+            .collect();
+        let dyn_nets = (0..2)
+            .map(|_| DynNet::new(cfg.dim, cfg.dyn_fifo_capacity, cfg.cdni_capacity))
+            .collect();
+        RawMachine {
+            cfg,
+            cycle: 0,
+            tiles,
+            link_in,
+            dyn_nets,
+            devices: Vec::new(),
+            device_index: BTreeMap::new(),
+            device_ports: Vec::new(),
+            trace: None,
+            last_progress: 0,
+            edge_drops: 0,
+            routes_fired: 0,
+            dyn_moved_before: 0,
+        }
+    }
+
+    pub fn config(&self) -> &RawConfig {
+        &self.cfg
+    }
+
+    pub fn dim(&self) -> GridDim {
+        self.cfg.dim
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Install a tile-processor program.
+    pub fn set_program(&mut self, tile: TileId, program: Box<dyn TileProgram>) {
+        self.tiles[tile.index()].program = Some(program);
+    }
+
+    /// Install the switch program driving static network `net` at `tile`
+    /// (PC reset to 0). Every route in the program must target `net`.
+    ///
+    /// Modeling note: real Raw has a single switch processor per tile
+    /// whose instruction controls both static crossbars; this simulator
+    /// gives each network an independent instruction stream so that a
+    /// free-running ingest path on one network cannot couple to (and
+    /// deadlock) a processor-steered schedule on the other. The paper's
+    /// Rotating Crossbar algorithm uses a single network (§5.3), so its
+    /// fidelity is unaffected.
+    pub fn set_switch_program(&mut self, tile: TileId, net: usize, prog: SwitchProgram) {
+        for i in &prog.instrs {
+            for r in &i.routes {
+                assert_eq!(
+                    r.net, net,
+                    "route on net {} in program for net {}",
+                    r.net, net
+                );
+            }
+        }
+        let t = &mut self.tiles[tile.index()];
+        t.switch_prog[net] = prog;
+        t.switch_state[net] = SwitchState::new();
+    }
+
+    /// Bind a device to an edge port. Panics if the port is interior or
+    /// already bound.
+    pub fn bind_device(&mut self, port: EdgePort, dev: Box<dyn EdgeDevice>) {
+        assert!(
+            self.cfg.dim.is_edge(port.tile, port.dir),
+            "{:?} is not an edge port",
+            port
+        );
+        assert!(
+            !self.device_index.contains_key(&port),
+            "{:?} already has a device",
+            port
+        );
+        self.device_index.insert(port, self.devices.len());
+        self.device_ports.push(port);
+        self.devices.push(dev);
+    }
+
+    /// Retrieve a bound device by concrete type.
+    pub fn device_mut<T: 'static>(&mut self, port: EdgePort) -> Option<&mut T> {
+        let i = *self.device_index.get(&port)?;
+        self.devices[i].as_any_mut().downcast_mut::<T>()
+    }
+
+    pub fn device_ref<T: 'static>(&self, port: EdgePort) -> Option<&T> {
+        let i = *self.device_index.get(&port)?;
+        self.devices[i].as_any().downcast_ref::<T>()
+    }
+
+    pub fn stats(&self, tile: TileId) -> &TileStats {
+        &self.tiles[tile.index()].stats
+    }
+
+    pub fn cache_stats(&self, tile: TileId) -> (u64, u64) {
+        let c = &self.tiles[tile.index()].cache;
+        (c.hits, c.misses)
+    }
+
+    pub fn switch_stall_cycles(&self, tile: TileId) -> u64 {
+        self.tiles[tile.index()].switch_stall_cycles
+    }
+
+    /// The activity each tile recorded on the most recent cycle.
+    pub fn last_activities(&self) -> Vec<Activity> {
+        self.tiles.iter().map(|t| t.last_activity).collect()
+    }
+
+    /// Direct access to a tile's local memory for setup/inspection.
+    pub fn tile_mem_mut(&mut self, tile: TileId) -> &mut Vec<u32> {
+        &mut self.tiles[tile.index()].mem
+    }
+
+    /// Diagnostic: occupancy of a static-network link input FIFO.
+    pub fn link_occupancy(&self, tile: TileId, net: usize, dir: crate::geom::Dir) -> usize {
+        self.link_in[tile.index()][net][dir.index()].len()
+    }
+
+    /// Diagnostic: `(csto_len, csti0_len, csti1_len)` at a tile.
+    pub fn proc_queue_occupancy(&self, tile: TileId) -> (usize, usize, usize) {
+        let t = &self.tiles[tile.index()];
+        (t.csto.len(), t.csti[0].len(), t.csti[1].len())
+    }
+
+    /// Diagnostic: the switch PC and halted flag for `net` at a tile.
+    pub fn switch_status(&self, tile: TileId, net: usize) -> (usize, bool) {
+        let st = &self.tiles[tile.index()].switch_state[net];
+        (st.pc, st.halted)
+    }
+
+    /// Begin recording a per-tile activity trace window.
+    pub fn start_trace(&mut self, start_cycle: u64, len: usize) {
+        assert!(
+            start_cycle >= self.cycle,
+            "trace window must start in the future"
+        );
+        self.trace = Some(TraceWindow::new(self.cfg.dim.tiles(), start_cycle, len));
+    }
+
+    /// Take the recorded trace window, if any.
+    pub fn take_trace(&mut self) -> Option<TraceWindow> {
+        self.trace.take()
+    }
+
+    /// Cycles since anything in the machine made forward progress.
+    pub fn idle_cycles(&self) -> u64 {
+        self.cycle.saturating_sub(self.last_progress)
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        let mut progress = false;
+
+        // 1. Device injection at edge input FIFOs.
+        for i in 0..self.devices.len() {
+            let port = self.device_ports[i];
+            let fifo = &mut self.link_in[port.tile.index()][port.net][port.dir.index()];
+            if fifo.has_space() {
+                if let Some(w) = self.devices[i].pull_in(cycle) {
+                    let ok = fifo.push(w, cycle);
+                    debug_assert!(ok);
+                    progress = true;
+                }
+            }
+        }
+
+        // 2. Tile processors.
+        progress |= self.step_processors(cycle);
+
+        // 3. Switch processors.
+        progress |= self.step_switches(cycle);
+
+        // 4. Dynamic networks.
+        for d in &mut self.dyn_nets {
+            d.step(cycle);
+        }
+        let dyn_moved: u64 = self.dyn_nets.iter().map(|d| d.words_moved).sum();
+        if dyn_moved != self.dyn_moved_before {
+            progress = true;
+            self.dyn_moved_before = dyn_moved;
+        }
+
+        if progress {
+            self.last_progress = cycle;
+        }
+        self.cycle += 1;
+    }
+
+    fn step_processors(&mut self, cycle: u64) -> bool {
+        let mut progress = false;
+        let n = self.tiles.len();
+        let cols = self.cfg.dim.cols as u32;
+        for t in 0..n {
+            let activity = if cycle < self.tiles[t].stall_until {
+                Activity::CacheStall
+            } else {
+                let mut program = self.tiles[t].program.take();
+                let activity = if let Some(prog) = program.as_mut() {
+                    let tile = &mut self.tiles[t];
+                    let col = (t as u32) % cols;
+                    let col_hops = col.min(cols - 1 - col);
+                    let mut io = TileIo::new(
+                        cycle,
+                        TileId(t as u16),
+                        &mut tile.csti,
+                        &mut tile.csto,
+                        &mut tile.switch_state,
+                        &mut tile.cache,
+                        &mut tile.mem,
+                        &mut self.dyn_nets,
+                        col_hops,
+                        self.cfg.proc_recv_delay,
+                        &mut tile.stall_until,
+                    );
+                    prog.tick(&mut io);
+                    io.take_activity()
+                } else {
+                    Activity::Idle
+                };
+                self.tiles[t].program = program;
+                activity
+            };
+            self.tiles[t].stats.record(activity);
+            self.tiles[t].last_activity = activity;
+            if let Some(tr) = &mut self.trace {
+                tr.record(t, cycle, activity);
+            }
+            progress |= activity == Activity::Busy;
+        }
+        progress
+    }
+
+    fn step_switches(&mut self, cycle: u64) -> bool {
+        let mut progress = false;
+        let n = self.tiles.len();
+        for t in 0..n {
+            for net in 0..NUM_STATIC_NETS {
+                progress |= self.step_switch(t, net, cycle);
+            }
+        }
+        progress
+    }
+
+    fn step_switch(&mut self, t: usize, net: usize, cycle: u64) -> bool {
+        let mut progress = false;
+        {
+            self.tiles[t].switch_state[net].apply_pending_pc(cycle);
+            if self.tiles[t].switch_state[net].halted {
+                return false;
+            }
+            let pc = self.tiles[t].switch_state[net].pc;
+            let Some(instr) = self.tiles[t].switch_prog[net].instrs.get(pc).cloned() else {
+                self.tiles[t].switch_state[net].halted = true;
+                return false;
+            };
+            // Fire route groups (routes sharing a (net, src) fire together,
+            // duplicating the word across destinations).
+            let mut fired = self.tiles[t].switch_state[net].fired;
+            let mut any_fired = false;
+            let mut gi = 0;
+            while gi < instr.routes.len() {
+                if fired & (1 << gi) != 0 {
+                    gi += 1;
+                    continue;
+                }
+                let lead = instr.routes[gi];
+                let group: Vec<usize> = (gi..instr.routes.len())
+                    .filter(|&j| {
+                        fired & (1 << j) == 0
+                            && instr.routes[j].net == lead.net
+                            && instr.routes[j].src == lead.src
+                    })
+                    .collect();
+                if self.group_ready(t, &instr.routes, &group, cycle) {
+                    self.fire_group(t, &instr.routes, &group, cycle);
+                    for &j in &group {
+                        fired |= 1 << j;
+                    }
+                    any_fired = true;
+                    progress = true;
+                }
+                gi += 1;
+            }
+            self.tiles[t].switch_state[net].fired = fired;
+            let complete = (0..instr.routes.len()).all(|j| fired & (1 << j) != 0);
+            if complete {
+                let prog_len = self.tiles[t].switch_prog[net].len();
+                let st = &mut self.tiles[t].switch_state[net];
+                st.fired = 0;
+                match instr.ctrl {
+                    SwitchCtrl::Next => {
+                        st.pc += 1;
+                        if st.pc >= prog_len {
+                            st.halted = true;
+                        }
+                    }
+                    SwitchCtrl::Jump(pc) => st.pc = pc,
+                    SwitchCtrl::WaitPc => st.halted = true,
+                }
+            } else if !any_fired {
+                self.tiles[t].switch_stall_cycles += 1;
+            }
+        }
+        progress
+    }
+
+    /// Can the route group (all sharing `(net, src)`) fire this cycle?
+    fn group_ready(&self, t: usize, routes: &[Route], group: &[usize], cycle: u64) -> bool {
+        let lead = routes[group[0]];
+        let src_ok = match lead.src {
+            SwPort::Proc => self.tiles[t].csto.has_visible(cycle, 0),
+            p => {
+                let d = p.dir().unwrap();
+                self.link_in[t][lead.net][d.index()].has_visible(cycle, 0)
+            }
+        };
+        if !src_ok {
+            return false;
+        }
+        group.iter().all(|&j| {
+            let r = routes[j];
+            match r.dst {
+                SwPort::Proc => self.tiles[t].csti[r.net].has_space(),
+                p => {
+                    let d = p.dir().unwrap();
+                    match self.cfg.dim.neighbor(TileId(t as u16), d) {
+                        Some(nb) => {
+                            self.link_in[nb.index()][r.net][d.opposite().index()].has_space()
+                        }
+                        None => {
+                            let port = EdgePort::new(TileId(t as u16), d, r.net);
+                            match self.device_index.get(&port) {
+                                Some(&i) => self.devices[i].can_push(cycle),
+                                None => true, // unbound edge: words drop
+                            }
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    fn fire_group(&mut self, t: usize, routes: &[Route], group: &[usize], cycle: u64) {
+        let lead = routes[group[0]];
+        let word = match lead.src {
+            SwPort::Proc => self.tiles[t].csto.pop_visible(cycle, 0).unwrap(),
+            p => {
+                let d = p.dir().unwrap();
+                self.link_in[t][lead.net][d.index()]
+                    .pop_visible(cycle, 0)
+                    .unwrap()
+            }
+        };
+        for &j in group {
+            let r = routes[j];
+            match r.dst {
+                SwPort::Proc => {
+                    let ok = self.tiles[t].csti[r.net].push(word, cycle);
+                    debug_assert!(ok);
+                }
+                p => {
+                    let d = p.dir().unwrap();
+                    match self.cfg.dim.neighbor(TileId(t as u16), d) {
+                        Some(nb) => {
+                            let ok = self.link_in[nb.index()][r.net][d.opposite().index()]
+                                .push(word, cycle);
+                            debug_assert!(ok);
+                        }
+                        None => {
+                            let port = EdgePort::new(TileId(t as u16), d, r.net);
+                            match self.device_index.get(&port) {
+                                Some(&i) => self.devices[i].push_out(word, cycle),
+                                None => self.edge_drops += 1,
+                            }
+                        }
+                    }
+                }
+            }
+            self.routes_fired += 1;
+        }
+    }
+
+    /// Run exactly `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run until `pred` holds (checked after each cycle) or `max_cycles`
+    /// elapse. Returns true if the predicate held.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&RawMachine) -> bool,
+    ) -> bool {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Run until nothing makes progress for `window` consecutive cycles
+    /// (or `max_cycles` pass). Returns a report distinguishing a clean
+    /// finish (everything idle) from a blocked state (a potential
+    /// deadlock, §5.5).
+    pub fn run_until_quiescent(&mut self, window: u64, max_cycles: u64) -> QuiescenceReport {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline && self.idle_cycles() < window {
+            self.step();
+        }
+        let blocked_tiles: Vec<TileId> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.last_activity.is_blocked())
+            .map(|(i, _)| TileId(i as u16))
+            .collect();
+        QuiescenceReport {
+            cycle: self.cycle,
+            quiescent: self.idle_cycles() >= window,
+            blocked_tiles,
+        }
+    }
+
+    /// Seconds of wall-clock time `cycles` represent at the configured
+    /// clock frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.cfg.clock_mhz as f64 * 1e6)
+    }
+}
+
+/// Result of [`RawMachine::run_until_quiescent`].
+#[derive(Clone, Debug)]
+pub struct QuiescenceReport {
+    pub cycle: u64,
+    /// True if the machine went quiet (nothing moved for the window).
+    pub quiescent: bool,
+    /// Tiles whose processors were blocked when the run stopped. A
+    /// quiescent machine with blocked tiles is deadlocked or starved.
+    pub blocked_tiles: Vec<TileId>,
+}
+
+impl QuiescenceReport {
+    /// Quiescent with at least one blocked processor: the textbook
+    /// static-network deadlock signature of §5.5.
+    pub fn is_deadlock(&self) -> bool {
+        self.quiescent && !self.blocked_tiles.is_empty()
+    }
+}

@@ -1,0 +1,720 @@
+//! End-to-end machine tests: network timing (Figure 3-2), streaming
+//! bandwidth, flow control, multicast, switch PC loading, and deadlock
+//! detection.
+
+use raw_sim::*;
+
+/// A program that sends a fixed list of words, one per cycle, then idles,
+/// recording the cycle each send retired.
+struct Sender {
+    words: Vec<u32>,
+    next: usize,
+    pub sent_at: Vec<u64>,
+}
+
+impl Sender {
+    fn new(words: Vec<u32>) -> Sender {
+        Sender {
+            words,
+            next: 0,
+            sent_at: Vec::new(),
+        }
+    }
+}
+
+impl TileProgram for Sender {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        if self.next < self.words.len() && io.send_static(self.words[self.next]) {
+            self.sent_at.push(io.cycle);
+            self.next += 1;
+        }
+    }
+    fn label(&self) -> &str {
+        "sender"
+    }
+}
+
+/// A program that receives `n` words from static net 0, recording cycles.
+struct Receiver {
+    want: usize,
+    pub got: Vec<(u64, u32)>,
+}
+
+impl Receiver {
+    fn new(want: usize) -> Receiver {
+        Receiver {
+            want,
+            got: Vec::new(),
+        }
+    }
+}
+
+impl TileProgram for Receiver {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        if self.got.len() < self.want {
+            if let Some(w) = io.recv_static(NET0) {
+                self.got.push((io.cycle, w));
+            }
+        }
+    }
+    fn label(&self) -> &str {
+        "receiver"
+    }
+}
+
+/// Shared handles so tests can read results back out of boxed programs.
+use std::sync::{Arc, Mutex};
+
+struct SharedRecv {
+    want: usize,
+    got: Arc<Mutex<Vec<(u64, u32)>>>,
+}
+
+impl TileProgram for SharedRecv {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        let mut g = self.got.lock().unwrap();
+        if g.len() < self.want {
+            if let Some(w) = io.recv_static(NET0) {
+                g.push((io.cycle, w));
+            }
+        }
+    }
+}
+
+struct SharedSender {
+    words: Vec<u32>,
+    next: usize,
+    sent_at: Arc<Mutex<Vec<u64>>>,
+}
+
+impl TileProgram for SharedSender {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        if self.next < self.words.len() && io.send_static(self.words[self.next]) {
+            self.sent_at.lock().unwrap().push(io.cycle);
+            self.next += 1;
+        }
+    }
+}
+
+fn route(net: NetId, src: SwPort, dst: SwPort) -> SwitchInstr {
+    SwitchInstr::new(vec![Route::new(net, src, dst)], SwitchCtrl::Jump(0))
+}
+
+/// Figure 3-2: tile 0 sends to tile 4 (south). The send executes on cycle
+/// k, the receive-and-use on cycle k+4 — five cycles total, three of them
+/// network (send-to-use) latency.
+#[test]
+fn figure_3_2_five_cycle_send() {
+    let mut m = RawMachine::new(RawConfig::default());
+    let sent_at = Arc::new(Mutex::new(Vec::new()));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(0),
+        Box::new(SharedSender {
+            words: vec![0xBEEF],
+            next: 0,
+            sent_at: Arc::clone(&sent_at),
+        }),
+    );
+    m.set_program(
+        TileId(4),
+        Box::new(SharedRecv {
+            want: 1,
+            got: Arc::clone(&got),
+        }),
+    );
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::S)]),
+    );
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::N, SwPort::Proc)]),
+    );
+    m.run(20);
+    let sent = sent_at.lock().unwrap()[0];
+    let (recv, word) = got.lock().unwrap()[0];
+    assert_eq!(word, 0xBEEF);
+    assert_eq!(
+        recv - sent,
+        4,
+        "or at cycle k, and at cycle k+4: 5 cycles inclusive (Figure 3-2)"
+    );
+}
+
+/// Steady-state streaming moves one word per cycle per link.
+#[test]
+fn streaming_is_one_word_per_cycle() {
+    let mut m = RawMachine::new(RawConfig::default());
+    let n = 64usize;
+    let sent_at = Arc::new(Mutex::new(Vec::new()));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(0),
+        Box::new(SharedSender {
+            words: (0..n as u32).collect(),
+            next: 0,
+            sent_at: Arc::clone(&sent_at),
+        }),
+    );
+    m.set_program(
+        TileId(4),
+        Box::new(SharedRecv {
+            want: n,
+            got: Arc::clone(&got),
+        }),
+    );
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::S)]),
+    );
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::N, SwPort::Proc)]),
+    );
+    m.run(200);
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), n);
+    // In-order delivery.
+    for (i, (_, w)) in got.iter().enumerate() {
+        assert_eq!(*w, i as u32);
+    }
+    // Steady state: consecutive receives one cycle apart.
+    let cycles: Vec<u64> = got.iter().map(|(c, _)| *c).collect();
+    for pair in cycles.windows(2) {
+        assert_eq!(pair[1] - pair[0], 1, "streaming must sustain 1 word/cycle");
+    }
+}
+
+/// Multi-hop path across the crossbar ring tiles: 4 -> 5 -> 6 -> 2.
+#[test]
+fn multi_hop_route_delivers_in_order() {
+    let mut m = RawMachine::new(RawConfig::default());
+    let sent_at = Arc::new(Mutex::new(Vec::new()));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(4),
+        Box::new(SharedSender {
+            words: vec![10, 11, 12],
+            next: 0,
+            sent_at: Arc::clone(&sent_at),
+        }),
+    );
+    m.set_program(
+        TileId(2),
+        Box::new(SharedRecv {
+            want: 3,
+            got: Arc::clone(&got),
+        }),
+    );
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::E)]),
+    );
+    m.set_switch_program(
+        TileId(5),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::E)]),
+    );
+    m.set_switch_program(
+        TileId(6),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::N)]),
+    );
+    m.set_switch_program(
+        TileId(2),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::S, SwPort::Proc)]),
+    );
+    m.run(50);
+    let got = got.lock().unwrap();
+    assert_eq!(
+        got.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+        vec![10, 11, 12]
+    );
+}
+
+/// Edge-to-edge streaming through devices: line card in (west of tile 4),
+/// through the tile-4 switch, line card out. The tile processor is not
+/// involved: the switch routes W->E autonomously.
+#[test]
+fn device_to_device_through_switches() {
+    let mut m = RawMachine::new(RawConfig::default());
+    let in_port = EdgePort::new(TileId(4), Dir::West, NET0);
+    let out_port = EdgePort::new(TileId(7), Dir::East, NET0);
+    m.bind_device(in_port, Box::new(WordSource::new(0..32u32)));
+    let (sink, handle) = WordSink::new();
+    m.bind_device(out_port, Box::new(sink));
+    for t in [4u16, 5, 6, 7] {
+        m.set_switch_program(
+            TileId(t),
+            NET0,
+            SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::E)]),
+        );
+    }
+    m.run(100);
+    let got = handle.lock().unwrap();
+    assert_eq!(got.len(), 32);
+    assert_eq!(
+        got.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+        (0..32u32).collect::<Vec<_>>()
+    );
+    // Steady-state rate is one word per cycle.
+    let mid = &got[8..24];
+    for pair in mid.windows(2) {
+        assert_eq!(pair[1].0 - pair[0].0, 1);
+    }
+}
+
+/// A rate-limited sink backpressures the whole path without losing words.
+#[test]
+fn backpressure_propagates_without_loss() {
+    let mut m = RawMachine::new(RawConfig::default());
+    // Words enter tile 4 from the west on net0, bounce through the tile-4
+    // processor, and leave west again on net1 (both west links of tile 4
+    // are chip edges) into a rate-limited sink.
+    let in_port = EdgePort::new(TileId(4), Dir::West, NET0);
+    let out_port = EdgePort::new(TileId(4), Dir::West, NET1);
+    m.bind_device(in_port, Box::new(WordSource::new(0..24u32)));
+    let (sink, handle) = WordSink::rate_limited(5);
+    m.bind_device(out_port, Box::new(sink));
+    struct Forward;
+    impl TileProgram for Forward {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            let _ = io.recv_send(NET0);
+        }
+    }
+    m.set_program(TileId(4), Box::new(Forward));
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::Proc)]),
+    );
+    m.set_switch_program(
+        TileId(4),
+        NET1,
+        SwitchProgram::new(vec![route(NET1, SwPort::Proc, SwPort::W)]),
+    );
+    m.run(400);
+    let got = handle.lock().unwrap();
+    assert_eq!(got.len(), 24, "no words may be lost under backpressure");
+    // Delivery honors the 1-in-5-cycles limit.
+    for pair in got.windows(2) {
+        assert!(pair[1].0 - pair[0].0 >= 5);
+    }
+    // In order.
+    for (i, &(_, w)) in got.iter().enumerate() {
+        assert_eq!(w, i as u32);
+    }
+}
+
+/// Multicast: one source word duplicated to two destinations by a single
+/// switch instruction (the §8.6 mechanism).
+#[test]
+fn switch_multicast_duplicates_words() {
+    let mut m = RawMachine::new(RawConfig::default());
+    let sent_at = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(5),
+        Box::new(SharedSender {
+            words: vec![71, 72],
+            next: 0,
+            sent_at,
+        }),
+    );
+    let got_a = Arc::new(Mutex::new(Vec::new()));
+    let got_b = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(1),
+        Box::new(SharedRecv {
+            want: 2,
+            got: Arc::clone(&got_a),
+        }),
+    );
+    m.set_program(
+        TileId(6),
+        Box::new(SharedRecv {
+            want: 2,
+            got: Arc::clone(&got_b),
+        }),
+    );
+    m.set_switch_program(
+        TileId(5),
+        NET0,
+        SwitchProgram::new(vec![SwitchInstr::new(
+            vec![
+                Route::new(NET0, SwPort::Proc, SwPort::N),
+                Route::new(NET0, SwPort::Proc, SwPort::E),
+            ],
+            SwitchCtrl::Jump(0),
+        )]),
+    );
+    m.set_switch_program(
+        TileId(1),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::S, SwPort::Proc)]),
+    );
+    m.set_switch_program(
+        TileId(6),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::Proc)]),
+    );
+    m.run(30);
+    assert_eq!(
+        got_a
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&(_, w)| w)
+            .collect::<Vec<_>>(),
+        vec![71, 72]
+    );
+    assert_eq!(
+        got_b
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&(_, w)| w)
+            .collect::<Vec<_>>(),
+        vec![71, 72]
+    );
+}
+
+/// The tile processor can steer its switch through `WaitPc`, the jump-table
+/// mechanism of §6.5.
+#[test]
+fn processor_loads_switch_pc() {
+    let mut m = RawMachine::new(RawConfig::default());
+    // Switch program: [0] wait, [1] route one word W->Proc then wait again,
+    // [3] route one word N->Proc then wait.
+    let prog = SwitchProgram::new(vec![
+        SwitchInstr::wait_pc(),
+        SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::W, SwPort::Proc)],
+            SwitchCtrl::Next,
+        ),
+        SwitchInstr::wait_pc(),
+        SwitchInstr::new(
+            vec![Route::new(NET0, SwPort::N, SwPort::Proc)],
+            SwitchCtrl::Next,
+        ),
+        SwitchInstr::wait_pc(),
+    ]);
+    m.set_switch_program(TileId(5), NET0, prog);
+    // Feed words toward tile 5 from west (tile 4) and north (tile 1).
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::E)]),
+    );
+    m.set_switch_program(
+        TileId(1),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::N, SwPort::S)]),
+    );
+    m.bind_device(
+        EdgePort::new(TileId(4), Dir::West, NET0),
+        Box::new(WordSource::new([111u32])),
+    );
+    m.bind_device(
+        EdgePort::new(TileId(1), Dir::North, NET0),
+        Box::new(WordSource::new([222u32])),
+    );
+
+    // The program: pick west first, then north, by steering the switch.
+    struct Steer {
+        state: u8,
+        got: Arc<Mutex<Vec<u32>>>,
+    }
+    impl TileProgram for Steer {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            match self.state {
+                0 => {
+                    io.set_switch_pc(NET0, 1);
+                    self.state = 1;
+                }
+                1 => {
+                    if let Some(w) = io.recv_static(NET0) {
+                        self.got.lock().unwrap().push(w);
+                        self.state = 2;
+                    }
+                }
+                2 => {
+                    if io.switch_halted(NET0) {
+                        io.set_switch_pc(NET0, 3);
+                        self.state = 3;
+                    } else {
+                        io.idle();
+                    }
+                }
+                3 => {
+                    if let Some(w) = io.recv_static(NET0) {
+                        self.got.lock().unwrap().push(w);
+                        self.state = 4;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let got = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(5),
+        Box::new(Steer {
+            state: 0,
+            got: Arc::clone(&got),
+        }),
+    );
+    m.run(60);
+    assert_eq!(*got.lock().unwrap(), vec![111, 222]);
+}
+
+/// A switch instruction's routes all complete before it advances: with a
+/// never-ready sink, the instruction stalls and upstream fills up.
+#[test]
+fn blocked_path_is_detected_as_deadlock_like() {
+    struct NeverReady;
+    impl EdgeDevice for NeverReady {
+        fn can_push(&self, _c: u64) -> bool {
+            false
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    struct Flood;
+    impl TileProgram for Flood {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            let _ = io.send_static(1);
+        }
+    }
+
+    let mut m = RawMachine::new(RawConfig::default());
+    m.set_program(TileId(0), Box::new(Flood));
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::N)]),
+    );
+    m.bind_device(
+        EdgePort::new(TileId(0), Dir::North, NET0),
+        Box::new(NeverReady),
+    );
+    let report = m.run_until_quiescent(16, 10_000);
+    assert!(
+        report.quiescent,
+        "the machine must go quiet once FIFOs fill"
+    );
+    assert!(report.is_deadlock(), "a blocked sender must be reported");
+    assert!(report.blocked_tiles.contains(&TileId(0)));
+}
+
+/// Unbound edge ports drop (and count) words rather than wedging the chip.
+#[test]
+fn unbound_edge_drops_words() {
+    struct Flood;
+    impl TileProgram for Flood {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            let _ = io.send_static(9);
+        }
+    }
+    let mut m = RawMachine::new(RawConfig::default());
+    m.set_program(TileId(0), Box::new(Flood));
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::N)]),
+    );
+    m.run(50);
+    assert!(m.edge_drops > 30);
+}
+
+/// Utilization statistics classify cycles the way Figure 7-3 does.
+#[test]
+fn stats_classify_blocked_and_busy() {
+    let mut m = RawMachine::new(RawConfig::default());
+    struct RecvForever;
+    impl TileProgram for RecvForever {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            let _ = io.recv_static(NET0);
+        }
+    }
+    m.set_program(TileId(3), Box::new(RecvForever));
+    m.run(40);
+    let s = m.stats(TileId(3));
+    assert_eq!(s.blocked(), 40, "a receiver with no data is always blocked");
+    assert_eq!(m.stats(TileId(2)).counts[Activity::Idle.index()], 40);
+}
+
+/// The trace window captures a dense per-tile record.
+#[test]
+fn trace_window_records() {
+    let mut m = RawMachine::new(RawConfig::default());
+    m.start_trace(5, 10);
+    m.run(20);
+    let tr = m.take_trace().unwrap();
+    assert!(tr.is_complete());
+    assert_eq!(tr.tile_samples(0).len(), 10);
+}
+
+/// Cache misses stall the processor for the configured latency and show up
+/// as CacheStall cycles.
+#[test]
+fn cache_miss_stalls_processor() {
+    let mut m = RawMachine::new(RawConfig {
+        miss_model: MissModel::Fixed(10),
+        ..RawConfig::default()
+    });
+    struct Loader {
+        done: Arc<Mutex<Vec<u64>>>,
+    }
+    impl TileProgram for Loader {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            let mut d = self.done.lock().unwrap();
+            if d.len() < 2 && io.load(0).is_some() {
+                d.push(io.cycle);
+            }
+        }
+    }
+    let done = Arc::new(Mutex::new(Vec::new()));
+    m.set_program(
+        TileId(0),
+        Box::new(Loader {
+            done: Arc::clone(&done),
+        }),
+    );
+    m.run(40);
+    let d = done.lock().unwrap();
+    assert_eq!(d.len(), 2);
+    // First load misses: issued at cycle 0, stalls 10, completes at 10.
+    assert_eq!(d[0], 10);
+    // Second load hits immediately on the next cycle.
+    assert_eq!(d[1], 11);
+    let s = m.stats(TileId(0));
+    // Miss issued at cycle 0 (CacheStall), stalled through cycle 9, so 10
+    // CacheStall cycles; the retry at cycle 10 hits and retires.
+    assert_eq!(s.counts[Activity::CacheStall.index()], 10);
+}
+
+// Keep the unused non-shared Sender/Receiver types exercised so the file
+// stays warning-free if tests above migrate to the shared variants.
+#[test]
+fn plain_sender_receiver_compile_and_run() {
+    let mut m = RawMachine::new(RawConfig::default());
+    m.set_program(TileId(0), Box::new(Sender::new(vec![1])));
+    m.set_program(TileId(4), Box::new(Receiver::new(1)));
+    m.set_switch_program(
+        TileId(0),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::S)]),
+    );
+    m.set_switch_program(
+        TileId(4),
+        NET0,
+        SwitchProgram::new(vec![route(NET0, SwPort::N, SwPort::Proc)]),
+    );
+    m.run(10);
+    assert!(m.stats(TileId(0)).busy() >= 1);
+}
+
+/// The distance-based miss model charges longer stalls to tiles farther
+/// from the chip's east/west DRAM ports.
+#[test]
+fn distance_miss_model_penalizes_central_tiles() {
+    let measure = |tile: TileId| -> u64 {
+        let mut m = RawMachine::new(RawConfig {
+            miss_model: MissModel::DistanceToEdge {
+                base: 20,
+                per_hop: 4,
+            },
+            ..RawConfig::default()
+        });
+        struct OneLoad {
+            done: Arc<Mutex<Option<u64>>>,
+        }
+        impl TileProgram for OneLoad {
+            fn tick(&mut self, io: &mut TileIo<'_>) {
+                let mut d = self.done.lock().unwrap();
+                if d.is_none() && io.load(0).is_some() {
+                    *d = Some(io.cycle);
+                }
+            }
+        }
+        let done = Arc::new(Mutex::new(None));
+        m.set_program(
+            tile,
+            Box::new(OneLoad {
+                done: Arc::clone(&done),
+            }),
+        );
+        m.run(200);
+        let result = *done.lock().unwrap();
+        result.expect("load completed")
+    };
+    // Column 0 touches the west DRAM port directly; column 1 is one hop in.
+    let edge = measure(TileId(4)); // column 0
+    let inner = measure(TileId(5)); // column 1
+    assert_eq!(edge, 20, "edge column: base latency only");
+    assert_eq!(inner, 20 + 2 * 4, "one hop each way adds 2*per_hop");
+}
+
+/// `run_until` predicates observe the machine after each cycle.
+#[test]
+fn run_until_stops_at_predicate() {
+    let mut m = RawMachine::new(RawConfig::default());
+    struct Count;
+    impl TileProgram for Count {
+        fn tick(&mut self, io: &mut TileIo<'_>) {
+            io.compute();
+        }
+    }
+    m.set_program(TileId(0), Box::new(Count));
+    let hit = m.run_until(1000, |m| m.stats(TileId(0)).busy() >= 10);
+    assert!(hit);
+    assert_eq!(m.cycle(), 10);
+}
+
+/// The simulator scales beyond the 4x4 prototype ("fabrics of up to
+/// 1,024 tiles", §3.1): stream across an 8x8 grid at one word per cycle.
+#[test]
+fn larger_grids_stream_at_line_rate() {
+    let dim = GridDim::new(8, 8);
+    let mut m = RawMachine::new(RawConfig {
+        dim,
+        local_mem_words: 1 << 12, // keep 64 tiles cheap
+        ..RawConfig::default()
+    });
+    // A straight west-east path along row 3.
+    for c in 0..8 {
+        m.set_switch_program(
+            dim.tile(3, c),
+            NET0,
+            SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::E)]),
+        );
+    }
+    m.bind_device(
+        EdgePort::new(dim.tile(3, 0), Dir::West, NET0),
+        Box::new(WordSource::new(0..64u32)),
+    );
+    let (sink, handle) = WordSink::new();
+    m.bind_device(
+        EdgePort::new(dim.tile(3, 7), Dir::East, NET0),
+        Box::new(sink),
+    );
+    m.run(200);
+    let got = handle.lock().unwrap();
+    assert_eq!(got.len(), 64);
+    let mid = &got[16..48];
+    for pair in mid.windows(2) {
+        assert_eq!(pair[1].0 - pair[0].0, 1, "line rate across 8 hops");
+    }
+}

@@ -1,0 +1,306 @@
+//! # raw-workloads — deterministic traffic generation
+//!
+//! The paper's evaluation drives the router with uniform-size packets at
+//! saturation: conflict-free permutations for *peak* throughput and
+//! uniform-random destinations ("complete fairness of the traffic") for
+//! *average* throughput. This crate generates those patterns plus the
+//! adversarial and bursty variants the extension experiments use, all
+//! seeded and reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raw_net::Packet;
+
+/// Number of router ports the generators target.
+pub const NPORTS: usize = 4;
+
+/// Destination-selection pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// `dst = (src + shift) % N` — conflict-free, the peak-rate pattern
+    /// (Figure 5-1 is `shift = 2`).
+    Permutation { shift: u8 },
+    /// Independently uniform destinations — the paper's average-rate
+    /// traffic.
+    Uniform,
+    /// Every source targets one port — the §5.4 fairness adversary.
+    Hotspot { dst: u8 },
+    /// Uniform, but each source switches destination only every `burst`
+    /// packets (bursty flows).
+    Bursty { burst: u32 },
+}
+
+/// Packet arrival process per input port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arrivals {
+    /// Back-to-back: a packet is always ready (peak-rate measurement).
+    Saturation,
+    /// Bernoulli packet arrivals: each `slot_cycles` window starts a new
+    /// packet with probability `p` (per mille).
+    Bernoulli { slot_cycles: u64, p_mille: u32 },
+}
+
+/// A workload: the full description of what each line card injects.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub pattern: Pattern,
+    pub arrivals: Arrivals,
+    /// Total packet size in bytes (header included). The paper sweeps
+    /// 64..=1024.
+    pub packet_bytes: usize,
+    pub packets_per_port: usize,
+    pub seed: u64,
+    pub ttl: u8,
+}
+
+impl Workload {
+    /// The paper's peak-rate workload at a given packet size.
+    pub fn peak(packet_bytes: usize, packets_per_port: usize) -> Workload {
+        Workload {
+            pattern: Pattern::Permutation { shift: 2 },
+            arrivals: Arrivals::Saturation,
+            packet_bytes,
+            packets_per_port,
+            seed: 1,
+            ttl: 64,
+        }
+    }
+
+    /// The paper's average-rate workload ("complete fairness").
+    pub fn average(packet_bytes: usize, packets_per_port: usize, seed: u64) -> Workload {
+        Workload {
+            pattern: Pattern::Uniform,
+            arrivals: Arrivals::Saturation,
+            packet_bytes,
+            packets_per_port,
+            seed,
+            ttl: 64,
+        }
+    }
+}
+
+/// One scheduled packet: input port, release cycle, and the packet. The
+/// destination address encodes the output port for the standard
+/// experiment routing table ([`port_table_routes`]).
+#[derive(Clone, Debug)]
+pub struct ScheduledPacket {
+    pub port: usize,
+    pub release: u64,
+    pub packet: Packet,
+}
+
+/// Destination address inside output port `p`'s experiment prefix
+/// (`10.<p>.0.0/16`).
+pub fn addr_for_port(p: u8) -> u32 {
+    0x0a00_0001 | ((p as u32) << 16)
+}
+
+/// Source address for input port `p` (outside any experiment prefix's
+/// low octets; purely cosmetic).
+pub fn src_addr(p: u8) -> u32 {
+    0x0a0a_0000 + p as u32
+}
+
+/// The routes of the standard experiment table: `10.<p>.0.0/16 -> p`.
+pub fn port_table_routes() -> Vec<raw_net_compat::RouteSpec> {
+    (0..NPORTS as u8)
+        .map(|p| raw_net_compat::RouteSpec {
+            prefix: 0x0a00_0000 | ((p as u32) << 16),
+            len: 16,
+            next_hop: p as u32,
+        })
+        .collect()
+}
+
+/// A tiny mirror of `raw_lookup::RouteEntry`'s fields, so this crate does
+/// not depend on the lookup crate (the router harness converts).
+pub mod raw_net_compat {
+    #[derive(Clone, Copy, Debug)]
+    pub struct RouteSpec {
+        pub prefix: u32,
+        pub len: u8,
+        pub next_hop: u32,
+    }
+}
+
+/// Generate the full packet schedule for a workload.
+pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
+    let mut rng = StdRng::seed_from_u64(w.seed);
+    let mut out = Vec::with_capacity(w.packets_per_port * NPORTS);
+    let mut burst_state = [(0u8, 0u32); NPORTS]; // (dst, remaining)
+    #[allow(clippy::needless_range_loop)]
+    for src in 0..NPORTS {
+        let mut release = 0u64;
+        for k in 0..w.packets_per_port {
+            let dst = match w.pattern {
+                Pattern::Permutation { shift } => ((src as u8) + shift) % NPORTS as u8,
+                Pattern::Uniform => rng.gen_range(0..NPORTS as u8),
+                Pattern::Hotspot { dst } => dst,
+                Pattern::Bursty { burst } => {
+                    let (d, left) = &mut burst_state[src];
+                    if *left == 0 {
+                        *d = rng.gen_range(0..NPORTS as u8);
+                        *left = burst;
+                    }
+                    *left -= 1;
+                    *d
+                }
+            };
+            release = match w.arrivals {
+                Arrivals::Saturation => 0,
+                Arrivals::Bernoulli {
+                    slot_cycles,
+                    p_mille,
+                } => {
+                    // Advance slots until one fires.
+                    let mut r = release;
+                    loop {
+                        r += slot_cycles;
+                        if rng.gen_range(0..1000) < p_mille {
+                            break;
+                        }
+                    }
+                    r
+                }
+            };
+            let mut p = Packet::synthetic(
+                src_addr(src as u8),
+                addr_for_port(dst),
+                w.packet_bytes,
+                w.ttl,
+                (src as u32) << 16 | k as u32,
+            );
+            // Stamp a flow sequence number in the IP id for ordering
+            // checks downstream.
+            p.header.id = (k & 0xffff) as u16;
+            p.header.checksum = p.header.compute_checksum();
+            out.push(ScheduledPacket {
+                port: src,
+                release,
+                packet: p,
+            });
+        }
+    }
+    out
+}
+
+/// Per-output expected packet counts for a schedule (delivery checking).
+pub fn expected_per_output(sched: &[ScheduledPacket]) -> [usize; NPORTS] {
+    let mut out = [0usize; NPORTS];
+    for s in sched {
+        let dst = ((s.packet.header.dst >> 16) & 0x3) as usize;
+        out[dst] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = Workload::average(256, 50, 7);
+        let a = generate(&w);
+        let b = generate(&w);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.release, y.release);
+        }
+    }
+
+    #[test]
+    fn permutation_is_conflict_free() {
+        let w = Workload::peak(64, 10);
+        let sched = generate(&w);
+        assert_eq!(sched.len(), 40);
+        for s in &sched {
+            let src = s.port as u8;
+            let dst = ((s.packet.header.dst >> 16) & 0xff) as u8;
+            assert_eq!(dst, (src + 2) % 4);
+        }
+        let per = expected_per_output(&sched);
+        assert_eq!(per, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn uniform_covers_all_outputs() {
+        let w = Workload::average(64, 400, 3);
+        let per = expected_per_output(&generate(&w));
+        for (i, &n) in per.iter().enumerate() {
+            assert!(
+                (300..=500).contains(&n),
+                "output {i} got {n} of 1600 — not uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_output() {
+        let w = Workload {
+            pattern: Pattern::Hotspot { dst: 1 },
+            ..Workload::peak(64, 5)
+        };
+        let per = expected_per_output(&generate(&w));
+        assert_eq!(per, [0, 20, 0, 0]);
+    }
+
+    #[test]
+    fn bursty_switches_destinations_in_runs() {
+        let w = Workload {
+            pattern: Pattern::Bursty { burst: 8 },
+            ..Workload::average(64, 64, 9)
+        };
+        let sched = generate(&w);
+        // Per source, destinations come in runs of 8.
+        for src in 0..4 {
+            let dsts: Vec<u8> = sched
+                .iter()
+                .filter(|s| s.port == src)
+                .map(|s| ((s.packet.header.dst >> 16) & 0xff) as u8)
+                .collect();
+            for chunk in dsts.chunks(8) {
+                assert!(chunk.iter().all(|&d| d == chunk[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_spaces_releases() {
+        let w = Workload {
+            arrivals: Arrivals::Bernoulli {
+                slot_cycles: 100,
+                p_mille: 300,
+            },
+            ..Workload::average(64, 40, 5)
+        };
+        let sched = generate(&w);
+        for src in 0..4 {
+            let rel: Vec<u64> = sched
+                .iter()
+                .filter(|s| s.port == src)
+                .map(|s| s.release)
+                .collect();
+            // Strictly increasing in multiples of the slot.
+            for w2 in rel.windows(2) {
+                assert!(w2[1] > w2[0]);
+                assert_eq!((w2[1] - w2[0]) % 100, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn packets_have_valid_checksums_and_ids() {
+        let sched = generate(&Workload::average(128, 20, 2));
+        for s in &sched {
+            assert!(s.packet.header.checksum_ok());
+        }
+        let ids: Vec<u16> = sched
+            .iter()
+            .filter(|s| s.port == 0)
+            .map(|s| s.packet.header.id)
+            .collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u16>>());
+    }
+}

@@ -1,0 +1,207 @@
+//! The Figure 7-2 mapping of router functional elements to Raw tiles.
+//!
+//! Each of the four ports occupies four tiles: an Ingress Processor on a
+//! chip edge, a Lookup Processor beside it, one of the four central
+//! Crossbar Processors, and an Egress Processor on the opposite edge:
+//!
+//! ```text
+//!          Out0(N)  Out1(N)
+//!   Lk0 |  Eg0(1)  Eg1(2)  | Lk1
+//! In0 > Ig0(4) X5    X6   Ig1(7) < In1
+//! In3 > Ig3(8) X9    X10  Ig2(11)< In2
+//!   Lk3 |  Eg3(13) Eg2(14) | Lk2
+//!          Out3(S)  Out2(S)
+//! ```
+//!
+//! The Crossbar Processors 5 → 6 → 10 → 9 form the rotating ring; the
+//! clockwise direction follows ascending port numbers 0 → 1 → 2 → 3.
+
+use raw_sim::{Dir, GridDim, TileId};
+
+/// Number of router ports on one Raw chip.
+pub const NPORTS: usize = 4;
+
+/// A router port's tile assignment and the mesh directions its crossbar
+/// tile uses for each logical connection of Figure 6-1.
+#[derive(Clone, Copy, Debug)]
+pub struct PortTiles {
+    pub ingress: TileId,
+    pub lookup: TileId,
+    pub crossbar: TileId,
+    pub egress: TileId,
+    /// Chip-edge direction at the ingress tile where the input line card
+    /// attaches.
+    pub in_edge: Dir,
+    /// Chip-edge direction at the egress tile where the output line card
+    /// attaches.
+    pub out_edge: Dir,
+    /// At the crossbar tile: direction toward the Ingress Processor (the
+    /// "in" client / grant path).
+    pub x_in: Dir,
+    /// At the crossbar tile: direction toward the Egress Processor (the
+    /// "out" server).
+    pub x_out: Dir,
+    /// At the crossbar tile: direction toward the clockwise next crossbar
+    /// tile (the "cwnext" server; the same physical link pair carries the
+    /// "cwprev" client of that neighbor).
+    pub x_cw: Dir,
+    /// At the crossbar tile: direction toward the counterclockwise next
+    /// crossbar tile (the "ccwnext" server).
+    pub x_ccw: Dir,
+    /// At the ingress tile: direction toward its crossbar tile.
+    pub ig_to_xbar: Dir,
+    /// At the egress tile: direction its crossbar tile's traffic arrives
+    /// from.
+    pub eg_from_xbar: Dir,
+}
+
+/// The complete 4-port layout on the 4x4 prototype.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterLayout {
+    pub ports: [PortTiles; NPORTS],
+    pub dim: GridDim,
+}
+
+impl RouterLayout {
+    /// The canonical Figure 7-2 layout.
+    pub fn canonical() -> RouterLayout {
+        let t = TileId;
+        let ports = [
+            // Port 0: In0 enters tile 4 from the west; Out0 leaves tile 1
+            // to the north.
+            PortTiles {
+                ingress: t(4),
+                lookup: t(0),
+                crossbar: t(5),
+                egress: t(1),
+                in_edge: Dir::West,
+                out_edge: Dir::North,
+                x_in: Dir::West,
+                x_out: Dir::North,
+                x_cw: Dir::East,
+                x_ccw: Dir::South,
+                ig_to_xbar: Dir::East,
+                eg_from_xbar: Dir::South,
+            },
+            // Port 1: In1 at tile 7 (east); Out1 at tile 2 (north).
+            PortTiles {
+                ingress: t(7),
+                lookup: t(3),
+                crossbar: t(6),
+                egress: t(2),
+                in_edge: Dir::East,
+                out_edge: Dir::North,
+                x_in: Dir::East,
+                x_out: Dir::North,
+                x_cw: Dir::South,
+                x_ccw: Dir::West,
+                ig_to_xbar: Dir::West,
+                eg_from_xbar: Dir::South,
+            },
+            // Port 2: In2 at tile 11 (east); Out2 at tile 14 (south).
+            PortTiles {
+                ingress: t(11),
+                lookup: t(15),
+                crossbar: t(10),
+                egress: t(14),
+                in_edge: Dir::East,
+                out_edge: Dir::South,
+                x_in: Dir::East,
+                x_out: Dir::South,
+                x_cw: Dir::West,
+                x_ccw: Dir::North,
+                ig_to_xbar: Dir::West,
+                eg_from_xbar: Dir::North,
+            },
+            // Port 3: In3 at tile 8 (west); Out3 at tile 13 (south).
+            PortTiles {
+                ingress: t(8),
+                lookup: t(12),
+                crossbar: t(9),
+                egress: t(13),
+                in_edge: Dir::West,
+                out_edge: Dir::South,
+                x_in: Dir::West,
+                x_out: Dir::South,
+                x_cw: Dir::North,
+                x_ccw: Dir::East,
+                ig_to_xbar: Dir::East,
+                eg_from_xbar: Dir::North,
+            },
+        ];
+        RouterLayout {
+            ports,
+            dim: GridDim::RAW_PROTOTYPE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        let l = RouterLayout::canonical();
+        let g = l.dim;
+        for (i, p) in l.ports.iter().enumerate() {
+            // Edges are real chip edges.
+            assert!(g.is_edge(p.ingress, p.in_edge), "port {i} in edge");
+            assert!(g.is_edge(p.egress, p.out_edge), "port {i} out edge");
+            // Crossbar directional wiring reaches the named tiles.
+            assert_eq!(
+                g.neighbor(p.crossbar, p.x_in),
+                Some(p.ingress),
+                "port {i} x_in"
+            );
+            assert_eq!(
+                g.neighbor(p.crossbar, p.x_out),
+                Some(p.egress),
+                "port {i} x_out"
+            );
+            // Ingress/egress sides agree with the crossbar side.
+            assert_eq!(g.neighbor(p.ingress, p.ig_to_xbar), Some(p.crossbar));
+            assert_eq!(g.neighbor(p.egress, p.eg_from_xbar), Some(p.crossbar));
+            // Lookup sits adjacent to its ingress (header handoff is one hop).
+            assert_eq!(g.manhattan(p.lookup, p.ingress), 1, "port {i} lookup adj");
+            // Ring: cw reaches the next port's crossbar tile.
+            let next = l.ports[(i + 1) % NPORTS];
+            let prev = l.ports[(i + NPORTS - 1) % NPORTS];
+            assert_eq!(
+                g.neighbor(p.crossbar, p.x_cw),
+                Some(next.crossbar),
+                "port {i} cw"
+            );
+            assert_eq!(
+                g.neighbor(p.crossbar, p.x_ccw),
+                Some(prev.crossbar),
+                "port {i} ccw"
+            );
+        }
+    }
+
+    #[test]
+    fn all_sixteen_tiles_are_used_exactly_once() {
+        let l = RouterLayout::canonical();
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &l.ports {
+            for t in [p.ingress, p.lookup, p.crossbar, p.egress] {
+                assert!(seen.insert(t), "tile {t:?} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn crossbar_tiles_match_figure_7_2() {
+        let l = RouterLayout::canonical();
+        let xbars: Vec<u16> = l.ports.iter().map(|p| p.crossbar.0).collect();
+        assert_eq!(xbars, vec![5, 6, 10, 9]);
+        let ingress: Vec<u16> = l.ports.iter().map(|p| p.ingress.0).collect();
+        assert_eq!(
+            ingress,
+            vec![4, 7, 11, 8],
+            "the tiles the efficiency study calls out"
+        );
+    }
+}

@@ -1,0 +1,1513 @@
+//! The four tile-processor programs of a router port (§4.2), as
+//! cycle-stepped state machines with the paper's per-cycle cost model.
+//!
+//! * [`IngressProgram`] — streams packets in from the line card (network
+//!   1), verifies and rewrites the IPv4 header, requests route lookup
+//!   over the dynamic network, buffers payload into local memory while
+//!   waiting or when denied (2 cycles/word), and per quantum bids into
+//!   the Rotating Crossbar, streaming granted fragments either from its
+//!   buffer (`lw $csto` — 1 cycle/word) or cut-through from the wire
+//!   (`move $csto, $csti2` — 1 cycle/word).
+//! * [`LookupProgram`] — answers longest-prefix-match queries against the
+//!   forwarding table, charging the engine's access-cost model.
+//! * [`CrossbarProgram`] — the distributed Rotating Crossbar algorithm of
+//!   Chapter 6: per quantum it takes its ingress's header, runs the ring
+//!   all-to-all, indexes the precomputed configuration jump table (a real
+//!   timed memory load), returns the grant word, and steers its switch
+//!   processor to the selected body routine. The token is a synchronous
+//!   counter local to every crossbar tile (§5.1); it is never
+//!   transmitted.
+//! * [`EgressProgram`] — in cut-through mode monitors fragment tags while
+//!   the switch streams bodies straight to the line card; in
+//!   store-and-forward mode buffers fragments (2 cycles/word),
+//!   reassembles per source port, and streams finished packets out.
+
+use std::sync::{Arc, Mutex};
+
+use raw_lookup::{Engine, ForwardingTable};
+use raw_net::{ComputeOp, FragTag, Ipv4Header, IPV4_HEADER_WORDS};
+use raw_sim::{TileIo, TileProgram, NET0};
+
+use crate::codegen::{CrossbarCode, EgressCode, IngressCode};
+
+/// Shared debug event log: `(cycle, port, event)` records of protocol
+/// transitions, enabled by the router's `debug_events` flag.
+pub type EventLog = Arc<Mutex<Vec<(u64, u8, &'static str)>>>;
+use crate::config::{global_index, global_index_mcast, ConfigSpace, HDR_VALUES};
+use crate::layout::{PortTiles, NPORTS};
+
+/// The "empty input queue" header word. Never collides with a packed
+/// [`FragTag`] (its compute-op bits would be the invalid value 3).
+pub const EMPTY_HDR: u32 = 0xFFFF_FFFF;
+
+/// Grant-word values on the crossbar→ingress path.
+pub const GRANT: u32 = 1;
+pub const DENY: u32 = 0;
+
+/// Word address where a crossbar tile's configuration jump table lives.
+pub const XBAR_TABLE_BASE: u32 = 0;
+
+/// Word address of the ingress packet buffer.
+pub const IG_BUF_BASE: u32 = 0x1000;
+
+/// Word address (and stride) of the egress per-source reassembly regions.
+pub const EG_BUF_BASE: u32 = 0x1000;
+pub const EG_BUF_STRIDE: u32 = 0x8000;
+
+// ---------------------------------------------------------------------
+// Ingress
+// ---------------------------------------------------------------------
+
+/// Observable ingress statistics.
+#[derive(Clone, Debug, Default)]
+pub struct IngressStats {
+    pub packets_started: u64,
+    pub packets_completed: u64,
+    pub packets_dropped: u64,
+    /// Header groups that failed to parse while hunting for a packet
+    /// boundary (corrupt input; the framer resynchronizes on idles).
+    pub frame_errors: u64,
+    pub words_ingested: u64,
+    pub words_buffered: u64,
+    pub words_cut_through: u64,
+    pub bids: u64,
+    pub grants: u64,
+    pub denies: u64,
+    pub fragments_sent: u64,
+    pub wire_fragments: u64,
+    pub proc_fragments: u64,
+}
+
+struct CurPkt {
+    total_words: usize,
+    /// Words taken off the wire *by the processor* (header + any buffered
+    /// tail); cut-through words are accounted at stream completion.
+    arrived: usize,
+    /// Words already streamed into the fabric.
+    streamed: usize,
+    /// Destination port set (one bit per output; several for multicast).
+    dst_mask: Option<u8>,
+    /// Malformed / TTL-expired: consume from the wire and discard.
+    drop: bool,
+}
+
+/// How the current fragment will be sourced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FragMode {
+    /// Payload cut straight from the line card through the switch.
+    Wire,
+    /// Everything from the processor (buffered tail + padding).
+    Proc,
+}
+
+/// Ingress queueing discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IngressQueueing {
+    /// The paper's §4.4 design: one packet at a time, head-of-line, with
+    /// payload cut-through at peak. Subject to HOL blocking under
+    /// contention.
+    #[default]
+    Fifo,
+    /// Virtual output queueing (the Chapter-2 / future-work extension):
+    /// packets are buffered into per-destination queues (2 cycles/word,
+    /// store-and-forward at the ingress) and the bid rotates across
+    /// non-empty queues, eliminating head-of-line blocking at the cost
+    /// of the buffering bandwidth.
+    Voq,
+}
+
+/// One buffered packet awaiting service in a virtual output queue.
+struct VoqPkt {
+    base: u32,
+    total_words: usize,
+    streamed: usize,
+    seq: u16,
+    /// Destination port set for the fragment tags.
+    dst_mask: u8,
+}
+
+/// Per-destination packet queues in ingress local memory: each output
+/// owns a contiguous region managed as a ring of whole packets.
+struct VoqState {
+    queues: [std::collections::VecDeque<VoqPkt>; NPORTS],
+    /// Allocation cursor per region (packets are freed strictly FIFO, so
+    /// a head/tail pair per region suffices).
+    head: [u32; NPORTS],
+    used: [u32; NPORTS],
+    /// Round-robin bid pointer across queues.
+    rr: usize,
+}
+
+/// Words of ingress memory per virtual output queue region. Four regions
+/// are sized to fit the 8K-word data cache together (the §4.4 point that
+/// the prototype's internal storage bounds buffering): larger regions
+/// thrash the cache and double the buffering cost.
+pub const VOQ_REGION_WORDS: u32 = 0x800;
+
+impl VoqState {
+    fn new() -> VoqState {
+        VoqState {
+            queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
+            head: [0; NPORTS],
+            used: [0; NPORTS],
+            rr: 0,
+        }
+    }
+
+    fn region_base(dst: usize) -> u32 {
+        IG_BUF_BASE + 0x1000 + dst as u32 * VOQ_REGION_WORDS
+    }
+
+    /// Reserve space for a packet headed to the first port of `mask`
+    /// (multicast packets queue under their lowest member). Returns the
+    /// base address, or None when the region is full (backpressure).
+    fn alloc(&mut self, mask: u8, words: usize) -> Option<u32> {
+        let dst = mask.trailing_zeros() as usize;
+        let words = words as u32;
+        if self.used[dst] + words > VOQ_REGION_WORDS {
+            return None;
+        }
+        // Keep packets contiguous: wrap the cursor when the tail space
+        // is short (the wasted tail counts as used until freed).
+        let offset = self.head[dst] % VOQ_REGION_WORDS;
+        let base_off = if offset + words > VOQ_REGION_WORDS {
+            let waste = VOQ_REGION_WORDS - offset;
+            if self.used[dst] + waste + words > VOQ_REGION_WORDS {
+                return None;
+            }
+            self.head[dst] += waste;
+            self.used[dst] += waste;
+            0
+        } else {
+            offset
+        };
+        self.head[dst] += words;
+        self.used[dst] += words;
+        Some(Self::region_base(dst) + base_off)
+    }
+
+    fn free(&mut self, dst: usize, words: usize) {
+        self.used[dst] -= words as u32;
+    }
+
+    /// Packets waiting across all queues (diagnostics).
+    #[allow(dead_code)]
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+enum Intake {
+    /// No packet being parsed.
+    Idle,
+    /// Collecting the five header words (delivered by ingest routines).
+    NeedHdr { have: usize },
+    /// Header verification + TTL/checksum rewrite (modeled cycles).
+    Verify { left: u32 },
+    /// Send the two-word lookup request over the dynamic network.
+    LookupSend { stage: u8 },
+    /// Await the two-word reply (stage 0 = header, 1 = port).
+    LookupWait { stage: u8 },
+    /// Route resolved; fragments can be planned.
+    Ready,
+    /// A processor-sourced fragment needs its words buffered first:
+    /// ingest words `[streamed+got .. streamed+need)` into local memory.
+    BufferTail { need: usize, got: usize },
+    /// VOQ mode: waiting for queue-region space (backpressure).
+    AllocVoq,
+    /// VOQ mode: store the rewritten header words at the packet's base.
+    StoreHdrVoq { base: u32, i: usize },
+    /// VOQ mode: buffer the whole packet into its queue's region
+    /// (`got` of `need` payload words received; header words land
+    /// first).
+    BufferAll { base: u32, need: usize, got: usize },
+    /// Discard the rest of a bad packet from the wire.
+    Drain { left: usize },
+}
+
+/// The ingress's switch-steering state.
+#[allow(clippy::large_enum_variant)]
+enum Drive {
+    /// Pick the next switch routine (or do processor-only work).
+    Idle,
+    /// An ingest routine is delivering `left` wire words to the processor.
+    Ingest { left: usize },
+    /// Send the bid word through the fire-and-forget bid routine.
+    BidSend { word: u32, real: bool },
+    /// Collect the outstanding grant word.
+    CollectGrant { real: bool },
+    /// Wait for the switch to finish the bid routine, then start the
+    /// granted stream.
+    StartStream,
+    /// Feed the processor-sourced words of the active stream routine.
+    Stream { mode: FragMode, sent: usize },
+    /// Consume the header-prefetch coda words (the fragment is already
+    /// accounted; these words belong to the next packet or are idles).
+    StreamTail { left: usize },
+    /// Wait for the stream routine to finish routing wire words, then
+    /// account the fragment.
+    EndStream,
+    /// Wait for the stream routine to finish (fragment already
+    /// accounted by the prefetch path).
+    WaitHalt,
+}
+
+pub struct IngressProgram {
+    port: u8,
+    quantum: usize,
+    ingest_pc: [usize; 4],
+    bid_send_pc: usize,
+    grant_recv_pc: usize,
+    stream_wf_last_pc: usize,
+    stream_wf_more_pc: usize,
+    stream_wc_more_pc: usize,
+    stream_wc_last_pc: usize,
+    stream_proc_pc: usize,
+    stream_proc_nc_pc: usize,
+    lookup_tile: (u16, u16),
+    verify_cycles: u32,
+    compute_op: ComputeOp,
+    queueing: IngressQueueing,
+    voq: VoqState,
+    seq: u16,
+    cur: Option<CurPkt>,
+    hdr_words: [u32; IPV4_HEADER_WORDS],
+    intake: Intake,
+    drive: Drive,
+    pending_tag: Option<(FragTag, FragMode, Option<usize>)>,
+    /// A wire word received but not yet stored (store may miss-stall).
+    pending_store: Option<(u32, u32)>,
+    /// Ingest routines issued since the last bid; a bid is forced after
+    /// the budget so this port never stalls the other ports' quanta for
+    /// long. FIFO mode keeps the budget tiny (the peak path ingests via
+    /// stream cut-through); VOQ mode buffers whole packets between
+    /// service opportunities and needs a packet-sized budget.
+    ingests_since_bid: u32,
+    /// A bid was sent whose grant word has not been collected yet
+    /// (`Some(real)`).
+    grant_outstanding: Option<bool>,
+    /// Cycle of the current tick (for event logging from inner helpers).
+    now: u64,
+    label: String,
+    pub stats: Arc<Mutex<IngressStats>>,
+    pub events: Option<EventLog>,
+}
+
+impl IngressProgram {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        port: u8,
+        tiles: &PortTiles,
+        code: &IngressCode,
+        quantum: usize,
+        lookup_row_col: (u16, u16),
+        verify_cycles: u32,
+        compute_op: ComputeOp,
+        queueing: IngressQueueing,
+    ) -> (IngressProgram, Arc<Mutex<IngressStats>>) {
+        let _ = tiles;
+        let stats = Arc::new(Mutex::new(IngressStats::default()));
+        (
+            IngressProgram {
+                port,
+                quantum,
+                ingest_pc: code.ingest_pc,
+                bid_send_pc: code.bid_send_pc,
+                grant_recv_pc: code.grant_recv_pc,
+                stream_wf_last_pc: code.stream_wf_last_pc,
+                stream_wf_more_pc: code.stream_wf_more_pc,
+                stream_wc_more_pc: code.stream_wc_more_pc,
+                stream_wc_last_pc: code.stream_wc_last_pc,
+                stream_proc_pc: code.stream_proc_pc,
+                stream_proc_nc_pc: code.stream_proc_nc_pc,
+                lookup_tile: lookup_row_col,
+                verify_cycles,
+                compute_op,
+                queueing,
+                voq: VoqState::new(),
+                seq: 0,
+                cur: None,
+                hdr_words: [0; IPV4_HEADER_WORDS],
+                intake: Intake::Idle,
+                drive: Drive::Idle,
+                pending_tag: None,
+                pending_store: None,
+                ingests_since_bid: 0,
+                grant_outstanding: None,
+                now: 0,
+                label: format!("ingress{port}"),
+                stats: Arc::clone(&stats),
+                events: None,
+            },
+            stats,
+        )
+    }
+
+    fn ev(&self, cycle: u64, what: &'static str) {
+        if let Some(log) = &self.events {
+            log.lock().unwrap().push((cycle, self.port, what));
+        }
+    }
+
+    /// Plan the next fragment of a head-of-queue packet, if any. In VOQ
+    /// mode the bid rotates across non-empty virtual output queues (the
+    /// HOL-blocking fix of §2.2.2); fragments stream from the buffered
+    /// packet, processor-sourced. Returns the tag, the stream mode, and
+    /// the VOQ index being served (None for the FIFO path).
+    fn plan_fragment(&self) -> Option<(FragTag, FragMode, Option<usize>)> {
+        if self.queueing == IngressQueueing::Voq {
+            // Rotate from the rr pointer to the first non-empty queue.
+            for k in 0..NPORTS {
+                let q = (self.voq.rr + k) % NPORTS;
+                let Some(p) = self.voq.queues[q].front() else {
+                    continue;
+                };
+                let remaining = p.total_words - p.streamed;
+                let frag_words = remaining.min(self.quantum);
+                return Some((
+                    FragTag {
+                        dst_mask: p.dst_mask,
+                        src_port: self.port,
+                        words: frag_words as u16,
+                        seq: p.seq,
+                        first: p.streamed == 0,
+                        last: remaining <= self.quantum,
+                        op: self.compute_op,
+                    },
+                    FragMode::Proc,
+                    Some(q),
+                ));
+            }
+            return None;
+        }
+        let c = self.cur.as_ref()?;
+        let dst_mask = c.dst_mask?;
+        if c.drop || c.streamed >= c.total_words {
+            return None;
+        }
+        let remaining = c.total_words - c.streamed;
+        let frag_words = remaining.min(self.quantum);
+        let pads = self.quantum - frag_words;
+        let mode = if pads == 0 {
+            FragMode::Wire
+        } else {
+            FragMode::Proc
+        };
+        // Proc-sourced fragments must be fully buffered first.
+        if mode == FragMode::Proc {
+            let first_needed = c.streamed.max(IPV4_HEADER_WORDS);
+            let have = c.arrived.max(first_needed);
+            if have < c.streamed + frag_words || self.pending_store.is_some() {
+                return None;
+            }
+        }
+        Some((
+            FragTag {
+                dst_mask,
+                src_port: self.port,
+                words: frag_words as u16,
+                seq: self.seq % raw_net::frag::SEQ_MODULUS,
+                first: c.streamed == 0,
+                last: remaining <= self.quantum,
+                op: self.compute_op,
+            },
+            mode,
+            None,
+        ))
+    }
+
+    /// How many wire words the intake machine wants delivered next.
+    fn wire_words_wanted(&self) -> usize {
+        match &self.intake {
+            Intake::Idle => 1, // speculatively start the next header
+            Intake::NeedHdr { have } => IPV4_HEADER_WORDS - have,
+            Intake::BufferTail { need, got } => need - got,
+            Intake::BufferAll { need, got, .. } => need - got,
+            Intake::Drain { left } => *left,
+            _ => 0,
+        }
+    }
+
+    /// Accept one word delivered by an ingest routine.
+    fn accept_wire_word(&mut self, w: u32) {
+        self.stats.lock().unwrap().words_ingested += 1;
+        match &mut self.intake {
+            Intake::Idle => {
+                if w == crate::devices::WIRE_IDLE {
+                    return; // inter-packet idle frame
+                }
+                self.hdr_words[0] = w;
+                self.intake = Intake::NeedHdr { have: 1 };
+                self.stats.lock().unwrap().packets_started += 1;
+            }
+            Intake::NeedHdr { have } => {
+                self.hdr_words[*have] = w;
+                *have += 1;
+                if *have == IPV4_HEADER_WORDS {
+                    self.intake = Intake::Verify {
+                        left: self.verify_cycles,
+                    };
+                }
+            }
+            Intake::BufferTail { need, got } => {
+                let c = self.cur.as_mut().expect("buffering a packet");
+                let addr = IG_BUF_BASE + c.arrived as u32;
+                self.pending_store = Some((addr, w));
+                c.arrived += 1;
+                *got += 1;
+                if got == need {
+                    self.intake = Intake::Ready;
+                }
+            }
+            Intake::BufferAll { base, need, got } => {
+                let c = self.cur.as_mut().expect("buffering a packet");
+                let addr = *base + c.arrived as u32;
+                self.pending_store = Some((addr, w));
+                c.arrived += 1;
+                *got += 1;
+                if got == need {
+                    // Whole packet buffered: enqueue it and move on to
+                    // the next header immediately.
+                    let pkt = VoqPkt {
+                        base: *base,
+                        total_words: c.total_words,
+                        streamed: 0,
+                        seq: self.seq % raw_net::frag::SEQ_MODULUS,
+                        dst_mask: c.dst_mask.expect("routed before buffering"),
+                    };
+                    self.seq = self.seq.wrapping_add(1);
+                    let dst = (pkt.dst_mask.trailing_zeros() as usize) % NPORTS;
+                    self.voq.queues[dst].push_back(pkt);
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                    if let Some(log) = &self.events {
+                        let e: &'static str = ["enq0", "enq1", "enq2", "enq3"][dst];
+                        log.lock().unwrap().push((self.now, self.port, e));
+                    }
+                }
+            }
+            Intake::Drain { left } => {
+                *left -= 1;
+                if *left == 0 {
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                }
+            }
+            st => unreachable!(
+                "ingest delivered word {w:#x} while intake state {} cannot accept",
+                match st {
+                    Intake::Verify { .. } => "Verify",
+                    Intake::LookupSend { .. } => "LookupSend",
+                    Intake::LookupWait { .. } => "LookupWait",
+                    Intake::Ready => "Ready",
+                    Intake::AllocVoq => "AllocVoq",
+                    Intake::StoreHdrVoq { .. } => "StoreHdrVoq",
+                    _ => "?",
+                }
+            ),
+        }
+    }
+
+    /// Processor-only intake work (no switch interaction): deferred
+    /// stores, header verification, the lookup round trip. Returns true
+    /// if a cycle was spent.
+    fn proc_step(&mut self, io: &mut TileIo<'_>) -> bool {
+        if let Some((addr, w)) = self.pending_store {
+            if io.store(addr, w) {
+                self.pending_store = None;
+                self.stats.lock().unwrap().words_buffered += 1;
+            }
+            return true;
+        }
+        match &mut self.intake {
+            Intake::Verify { left } => {
+                io.compute();
+                *left -= 1;
+                if *left == 0 {
+                    match Ipv4Header::from_words(&self.hdr_words) {
+                        Ok(mut h) => {
+                            let total_words =
+                                IPV4_HEADER_WORDS + (h.total_len as usize - 20).div_ceil(4);
+                            let drop = h.forward_hop().is_err();
+                            if !drop {
+                                self.hdr_words = h.to_words();
+                            }
+                            self.cur = Some(CurPkt {
+                                total_words,
+                                arrived: IPV4_HEADER_WORDS,
+                                streamed: 0,
+                                dst_mask: None,
+                                drop,
+                            });
+                            self.intake = if drop {
+                                self.stats.lock().unwrap().packets_dropped += 1;
+                                Intake::Drain {
+                                    left: total_words - IPV4_HEADER_WORDS,
+                                }
+                            } else {
+                                Intake::LookupSend { stage: 0 }
+                            };
+                        }
+                        Err(_) => {
+                            // Unframeable header: count a frame error and
+                            // resynchronize on the next idle gap.
+                            self.stats.lock().unwrap().frame_errors += 1;
+                            self.cur = None;
+                            self.intake = Intake::Idle;
+                        }
+                    }
+                }
+                true
+            }
+            Intake::LookupSend { stage } => {
+                let (row, col) = self.lookup_tile;
+                let word = if *stage == 0 {
+                    raw_sim::pack_header(row, col, 1, self.port as u32)
+                } else {
+                    self.hdr_words[4] // destination address
+                };
+                if io.can_send_dyn(0) {
+                    let ok = io.send_dyn(0, word);
+                    debug_assert!(ok);
+                    if *stage == 0 {
+                        *stage = 1;
+                    } else {
+                        self.intake = Intake::LookupWait { stage: 0 };
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Intake::LookupWait { stage } if io.can_recv_dyn(0) => {
+                let w = io.recv_dyn(0).expect("polled");
+                if *stage == 0 {
+                    *stage = 1;
+                } else {
+                    self.ev(io.cycle, "lookup-done");
+                    let c = self.cur.as_mut().expect("lookup for a packet");
+                    c.dst_mask = Some(match raw_lookup::decode_hop(w) {
+                        raw_lookup::Hop::Unicast(p) => 1 << (p & 0x3),
+                        raw_lookup::Hop::Multicast(m) => m & 0xf,
+                    });
+                    if self.queueing == IngressQueueing::Voq {
+                        self.intake = Intake::AllocVoq;
+                    } else {
+                        // Decide whether the tail needs buffering.
+                        let frag_words = (c.total_words - c.streamed).min(self.quantum);
+                        let pads = self.quantum - frag_words;
+                        self.intake = if pads > 0 {
+                            Intake::BufferTail {
+                                need: c.total_words - c.arrived,
+                                got: 0,
+                            }
+                        } else {
+                            Intake::Ready
+                        };
+                        // Zero-length tail (packet exactly the header…)
+                        if let Intake::BufferTail { need: 0, .. } = self.intake {
+                            self.intake = Intake::Ready;
+                        }
+                    }
+                }
+                true
+            }
+            Intake::AllocVoq => {
+                // Poll for queue-region space (one compute cycle per
+                // attempt; full region = backpressure to the line).
+                io.compute();
+                let c = self.cur.as_ref().expect("routed packet");
+                let mask = c.dst_mask.expect("routed");
+                if let Some(base) = self.voq.alloc(mask, c.total_words) {
+                    self.intake = Intake::StoreHdrVoq { base, i: 0 };
+                }
+                true
+            }
+            Intake::StoreHdrVoq { base, i } => {
+                let (b, k) = (*base, *i);
+                if io.store(b + k as u32, self.hdr_words[k]) {
+                    if k + 1 == IPV4_HEADER_WORDS {
+                        let c = self.cur.as_ref().expect("routed packet");
+                        let need = c.total_words - c.arrived;
+                        if need == 0 {
+                            // Header-only packet: enqueue immediately.
+                            let pkt = VoqPkt {
+                                base: b,
+                                total_words: c.total_words,
+                                streamed: 0,
+                                seq: self.seq % raw_net::frag::SEQ_MODULUS,
+                                dst_mask: c.dst_mask.expect("routed"),
+                            };
+                            self.seq = self.seq.wrapping_add(1);
+                            let dst = (pkt.dst_mask.trailing_zeros() as usize) % NPORTS;
+                            self.voq.queues[dst].push_back(pkt);
+                            self.cur = None;
+                            self.intake = Intake::Idle;
+                        } else {
+                            self.intake = Intake::BufferAll {
+                                base: b,
+                                need,
+                                got: 0,
+                            };
+                        }
+                    } else {
+                        self.intake = Intake::StoreHdrVoq { base: b, i: k + 1 };
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Mark fragment completion after its stream routine retired.
+    fn finish_fragment(&mut self, tag: FragTag, mode: FragMode, voq_q: Option<usize>) {
+        if let Some(q) = voq_q {
+            // VOQ service: advance the head packet; free and dequeue on
+            // completion; rotate the bid pointer for fairness.
+            let done = {
+                let p = self.voq.queues[q].front_mut().expect("serving");
+                p.streamed += tag.words as usize;
+                p.streamed >= p.total_words
+            };
+            if done {
+                let p = self.voq.queues[q].pop_front().expect("serving");
+                self.voq.free(q, p.total_words);
+                self.stats.lock().unwrap().packets_completed += 1;
+            }
+            self.voq.rr = (q + 1) % NPORTS;
+            let mut s = self.stats.lock().unwrap();
+            s.fragments_sent += 1;
+            s.proc_fragments += 1;
+            return;
+        }
+        let mut done = false;
+        if let Some(c) = &mut self.cur {
+            if mode == FragMode::Wire {
+                // The switch pulled these words directly off the wire.
+                let wire_words = if tag.first {
+                    tag.words as usize - IPV4_HEADER_WORDS
+                } else {
+                    tag.words as usize
+                };
+                c.arrived += wire_words;
+                self.stats.lock().unwrap().words_cut_through += wire_words as u64;
+            }
+            c.streamed += tag.words as usize;
+            done = c.streamed >= c.total_words;
+            if !done {
+                // If the next fragment is a padded tail it must be
+                // processor-sourced, so its words need buffering now.
+                let remaining = c.total_words - c.streamed;
+                if remaining < self.quantum && matches!(self.intake, Intake::Ready) {
+                    let need = c.total_words - c.arrived;
+                    self.intake = if need > 0 {
+                        Intake::BufferTail { need, got: 0 }
+                    } else {
+                        Intake::Ready
+                    };
+                }
+            }
+        }
+        let mut s = self.stats.lock().unwrap();
+        s.fragments_sent += 1;
+        match mode {
+            FragMode::Wire => s.wire_fragments += 1,
+            FragMode::Proc => s.proc_fragments += 1,
+        }
+        if done {
+            s.packets_completed += 1;
+            drop(s);
+            self.seq = self.seq.wrapping_add(1);
+            self.cur = None;
+            self.intake = Intake::Idle;
+        }
+    }
+
+    /// Pick the next ingest chunk size index for `want` words.
+    fn chunk_for(want: usize) -> (usize, usize) {
+        for (i, n) in crate::codegen::INGEST_CHUNKS.iter().enumerate().rev() {
+            if *n <= want {
+                return (i, *n);
+            }
+        }
+        (0, 1)
+    }
+}
+
+impl TileProgram for IngressProgram {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        self.now = io.cycle;
+        match &mut self.drive {
+            Drive::Idle => {
+                if !io.switch_halted(NET0) {
+                    // The switch is still finishing a routine: use the
+                    // cycle for processor-only intake work.
+                    if !self.proc_step(io) {
+                        io.idle();
+                    }
+                    return;
+                }
+                // Choose the next routine. Real bids take priority; then
+                // wire-word delivery for the intake machine (the line
+                // always carries words — idle frames between packets —
+                // so ingest routines complete promptly); an empty bid is
+                // forced after two ingests so the fabric keeps rotating.
+                let want = self.wire_words_wanted();
+                // While a grant is outstanding, the switch is free: run
+                // ingest chunks (up to a budget) before collecting it —
+                // this is what lets intake overlap the crossbar quantum.
+                if let Some(real) = self.grant_outstanding {
+                    let budget = match self.queueing {
+                        IngressQueueing::Voq => 12,
+                        IngressQueueing::Fifo => 2,
+                    };
+                    if want > 0 && self.ingests_since_bid < budget {
+                        let (i, n) = Self::chunk_for(want);
+                        self.ingests_since_bid += 1;
+                        self.ev(io.cycle, "ingest");
+                        io.set_switch_pc(NET0, self.ingest_pc[i]);
+                        self.drive = Drive::Ingest { left: n };
+                        return;
+                    }
+                    self.grant_outstanding = None;
+                    io.set_switch_pc(NET0, self.grant_recv_pc);
+                    self.drive = Drive::CollectGrant { real };
+                    return;
+                }
+                if let Some((tag, mode, voq_q)) = self.plan_fragment() {
+                    self.pending_tag = Some((tag, mode, voq_q));
+                    self.ingests_since_bid = 0;
+                    self.ev(io.cycle, "bid-real");
+                    io.set_switch_pc(NET0, self.bid_send_pc);
+                    self.drive = Drive::BidSend {
+                        word: tag.pack(),
+                        real: true,
+                    };
+                    return;
+                }
+                // Bounded processor-only work (verification, the lookup
+                // round trip) runs to completion before we spend a bid
+                // round trip — a real bid usually follows immediately.
+                if matches!(
+                    self.intake,
+                    Intake::Verify { .. }
+                        | Intake::LookupSend { .. }
+                        | Intake::LookupWait { .. }
+                        | Intake::AllocVoq
+                        | Intake::StoreHdrVoq { .. }
+                ) || self.pending_store.is_some()
+                {
+                    if !self.proc_step(io) {
+                        io.idle(); // lookup reply in flight
+                    }
+                    return;
+                }
+                if want > 0 && self.ingests_since_bid < 2 {
+                    let (i, n) = Self::chunk_for(want);
+                    self.ingests_since_bid += 1;
+                    self.ev(io.cycle, "ingest");
+                    io.set_switch_pc(NET0, self.ingest_pc[i]);
+                    self.drive = Drive::Ingest { left: n };
+                    return;
+                }
+                // Keep the crossbar rotating (and clear the ingest debt).
+                self.ingests_since_bid = 0;
+                self.ev(io.cycle, "bid-empty");
+                io.set_switch_pc(NET0, self.bid_send_pc);
+                self.drive = Drive::BidSend {
+                    word: EMPTY_HDR,
+                    real: false,
+                };
+            }
+            Drive::Ingest { left } => {
+                // A deferred store must land before the next word is
+                // pulled (receive + store = the 2-cycles/word buffering
+                // cost of §4.4).
+                if self.pending_store.is_some() {
+                    self.proc_step(io);
+                    return;
+                }
+                if io.can_recv_static(NET0) {
+                    let w = io.recv_static(NET0).expect("polled");
+                    let l = *left - 1;
+                    self.accept_wire_word(w);
+                    if l == 0 {
+                        self.drive = Drive::Idle;
+                    } else {
+                        self.drive = Drive::Ingest { left: l };
+                    }
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+            Drive::BidSend { word, real } => {
+                let (w, real) = (*word, *real);
+                if io.send_static(w) {
+                    self.stats.lock().unwrap().bids += 1;
+                    self.grant_outstanding = Some(real);
+                    self.drive = Drive::Idle;
+                }
+            }
+            Drive::CollectGrant { real } => {
+                if io.can_recv_static(NET0) {
+                    let g = io.recv_static(NET0).expect("polled");
+                    let granted = g == GRANT && *real;
+                    let mut s = self.stats.lock().unwrap();
+                    if granted {
+                        s.grants += 1;
+                    } else if *real {
+                        s.denies += 1;
+                    }
+                    drop(s);
+                    if granted {
+                        self.ev(io.cycle, "granted");
+                        self.drive = Drive::StartStream;
+                    } else {
+                        self.ev(io.cycle, "denied");
+                        self.pending_tag = None;
+                        self.drive = Drive::Idle;
+                    }
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+            Drive::StartStream => {
+                if io.switch_halted(NET0) {
+                    let (tag, mode, _) = self.pending_tag.expect("granted");
+                    let pc = match (mode, tag.first, tag.last) {
+                        (FragMode::Wire, true, true) => self.stream_wf_last_pc,
+                        (FragMode::Wire, true, false) => self.stream_wf_more_pc,
+                        (FragMode::Wire, false, false) => self.stream_wc_more_pc,
+                        (FragMode::Wire, false, true) => self.stream_wc_last_pc,
+                        (FragMode::Proc, _, _) if self.queueing == IngressQueueing::Voq => {
+                            // No prefetch coda: VOQ ingestion is
+                            // decoupled from streaming, so the coda
+                            // words could land mid-parse.
+                            self.stream_proc_nc_pc
+                        }
+                        (FragMode::Proc, _, _) => self.stream_proc_pc,
+                    };
+                    io.set_switch_pc(NET0, pc);
+                    self.drive = Drive::Stream { mode, sent: 0 };
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+            Drive::Stream { mode, sent } => {
+                let (tag, _, voq_q) = self.pending_tag.expect("streaming");
+                let m = *mode;
+                let k = *sent;
+                // How many words must the processor source?
+                let proc_words = match (m, tag.first) {
+                    (FragMode::Wire, true) => 1 + IPV4_HEADER_WORDS,
+                    (FragMode::Wire, false) => 1,
+                    (FragMode::Proc, _) => 1 + self.quantum,
+                };
+                if k == proc_words {
+                    // Final-fragment FIFO routines end with the header
+                    // prefetch coda: account the fragment now and consume
+                    // the coda words as next-packet intake. VOQ routines
+                    // have no coda.
+                    if tag.last && self.queueing == IngressQueueing::Fifo {
+                        let (tag, mode, voq_q) = self.pending_tag.take().expect("streaming");
+                        self.ev(io.cycle, "stream-last");
+                        self.finish_fragment(tag, mode, voq_q);
+                        self.drive = Drive::StreamTail {
+                            left: crate::codegen::PREFETCH_WORDS,
+                        };
+                    } else {
+                        self.drive = Drive::EndStream;
+                    }
+                    self.tick(io);
+                    return;
+                }
+                let ok = if k == 0 {
+                    io.send_static(tag.pack())
+                } else {
+                    match m {
+                        FragMode::Wire => io.send_static(self.hdr_words[k - 1]),
+                        FragMode::Proc if k > tag.words as usize => {
+                            io.send_static(0) // padding
+                        }
+                        FragMode::Proc => {
+                            if let Some(q) = voq_q {
+                                // VOQ: stream from the buffered packet
+                                // (header included at its base).
+                                let pkt = self.voq.queues[q].front().expect("serving");
+                                let pkt_idx = pkt.streamed + (k - 1);
+                                io.load_send(pkt.base + pkt_idx as u32)
+                            } else {
+                                let c = self.cur.as_ref().expect("streaming");
+                                let pkt_idx = c.streamed + (k - 1);
+                                if pkt_idx < IPV4_HEADER_WORDS {
+                                    io.send_static(self.hdr_words[pkt_idx])
+                                } else {
+                                    io.load_send(IG_BUF_BASE + pkt_idx as u32)
+                                }
+                            }
+                        }
+                    }
+                };
+                if ok {
+                    *sent = k + 1;
+                }
+            }
+            Drive::StreamTail { left } => {
+                if self.pending_store.is_some() {
+                    self.proc_step(io);
+                    return;
+                }
+                if io.can_recv_static(NET0) {
+                    let w = io.recv_static(NET0).expect("polled");
+                    let l = *left - 1;
+                    self.accept_wire_word(w);
+                    self.drive = if l == 0 {
+                        Drive::WaitHalt
+                    } else {
+                        Drive::StreamTail { left: l }
+                    };
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+            Drive::WaitHalt => {
+                if io.switch_halted(NET0) {
+                    self.ev(io.cycle, "stream-end");
+                    self.drive = Drive::Idle;
+                    self.tick(io);
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+            Drive::EndStream => {
+                if io.switch_halted(NET0) {
+                    let (tag, mode, voq_q) = self.pending_tag.take().expect("streamed");
+                    self.ev(io.cycle, "stream-end");
+                    self.finish_fragment(tag, mode, voq_q);
+                    self.drive = Drive::Idle;
+                } else if !self.proc_step(io) {
+                    io.idle();
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+pub struct LookupStats {
+    pub lookups: u64,
+    pub total_cost_cycles: u64,
+}
+
+enum LkSt {
+    WaitHdr,
+    WaitAddr,
+    Compute { left: u32, port: u32 },
+    SendHdr { port: u32 },
+    SendPort { port: u32 },
+}
+
+pub struct LookupProgram {
+    table: Arc<ForwardingTable>,
+    engine: Engine,
+    ingress_rc: (u16, u16),
+    st: LkSt,
+    label: String,
+    pub stats: Arc<Mutex<LookupStats>>,
+}
+
+impl LookupProgram {
+    pub fn new(
+        port: u8,
+        table: Arc<ForwardingTable>,
+        engine: Engine,
+        ingress_row_col: (u16, u16),
+    ) -> (LookupProgram, Arc<Mutex<LookupStats>>) {
+        let stats = Arc::new(Mutex::new(LookupStats::default()));
+        (
+            LookupProgram {
+                table,
+                engine,
+                ingress_rc: ingress_row_col,
+                st: LkSt::WaitHdr,
+                label: format!("lookup{port}"),
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl TileProgram for LookupProgram {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        match &mut self.st {
+            LkSt::WaitHdr => {
+                if io.recv_dyn(0).is_some() {
+                    self.st = LkSt::WaitAddr;
+                }
+            }
+            LkSt::WaitAddr => {
+                if let Some(addr) = io.recv_dyn(0) {
+                    let (hop, cost) = self.table.lookup(self.engine, addr);
+                    // The raw next-hop travels back intact: a plain port
+                    // number, or a `MULTICAST_FLAG`-encoded port set.
+                    // Unroutable addresses fall back to port 0 (synthetic
+                    // tables always carry a default route; defensive).
+                    let port = hop.unwrap_or(0);
+                    let mut s = self.stats.lock().unwrap();
+                    s.lookups += 1;
+                    s.total_cost_cycles += cost as u64;
+                    drop(s);
+                    self.st = LkSt::Compute {
+                        left: cost.max(1),
+                        port,
+                    };
+                }
+            }
+            LkSt::Compute { left, port } => {
+                io.compute();
+                *left -= 1;
+                if *left == 0 {
+                    self.st = LkSt::SendHdr { port: *port };
+                }
+            }
+            LkSt::SendHdr { port } => {
+                let (row, col) = self.ingress_rc;
+                let h = raw_sim::pack_header(row, col, 1, 0);
+                if io.send_dyn(0, h) {
+                    self.st = LkSt::SendPort { port: *port };
+                }
+            }
+            LkSt::SendPort { port } => {
+                let p = *port;
+                if io.send_dyn(0, p) {
+                    self.st = LkSt::WaitHdr;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crossbar
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+pub struct XbarStats {
+    pub quanta: u64,
+    pub grants_issued: u64,
+    pub active_quanta: u64,
+    pub token_history_check: u64,
+}
+
+enum XbSt {
+    WaitHalt,
+    RecvOwn,
+    RingSendOwn,
+    RingRecv { k: usize },
+    RingFwd { k: usize },
+    ComputeIdx { left: u32 },
+    LoadEntry,
+    SendGrant { grant: bool, cfg_pc: usize },
+    SwpcCfg { cfg_pc: usize },
+}
+
+pub struct CrossbarProgram {
+    port: u8,
+    /// True when the jump table covers the multicast alphabet.
+    multicast: bool,
+    /// Encoded headers of all four ports this quantum (unicast alphabet:
+    /// 0..=3 dest + 4 empty; multicast alphabet: the destination mask).
+    hdrs: [u8; NPORTS],
+    /// The token schedule (weighted round robin, §8.7) and position.
+    token_seq: Vec<u8>,
+    q: usize,
+    idx_cycles: u32,
+    cfg_pcs: Vec<usize>,
+    st: XbSt,
+    /// The header word currently being forwarded around the ring.
+    ring_word: u32,
+    label: String,
+    pub stats: Arc<Mutex<XbarStats>>,
+    pub events: Option<EventLog>,
+    /// Debug ring of (quantum, gi, cfg_pc) decisions.
+    pub decisions: Arc<Mutex<Vec<(usize, usize, usize)>>>,
+}
+
+impl CrossbarProgram {
+    pub fn new(
+        port: u8,
+        code: &CrossbarCode,
+        token_seq: Vec<u8>,
+        idx_cycles: u32,
+        multicast: bool,
+    ) -> (CrossbarProgram, Arc<Mutex<XbarStats>>) {
+        assert!(!token_seq.is_empty());
+        let stats = Arc::new(Mutex::new(XbarStats::default()));
+        let empty_code = if multicast { 0 } else { HDR_VALUES as u8 - 1 };
+        (
+            CrossbarProgram {
+                port,
+                multicast,
+                hdrs: [empty_code; NPORTS],
+                token_seq,
+                q: 0,
+                idx_cycles,
+                cfg_pcs: code.cfg_pc.clone(),
+                st: XbSt::WaitHalt,
+                ring_word: 0,
+                events: None,
+                decisions: Arc::new(Mutex::new(Vec::new())),
+                label: format!("xbar{port}"),
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+
+    /// Build the jump-table image preloaded into this tile's data memory:
+    /// `entry = cfg_id | granted << 31`.
+    pub fn table_image(cs: &ConfigSpace, tile: usize) -> Vec<u32> {
+        cs.jump[tile]
+            .iter()
+            .zip(cs.grant[tile].iter())
+            .map(|(&id, &g)| u32::from(id) | (u32::from(g) << 31))
+            .collect()
+    }
+
+    fn hdr_code(&self, w: u32) -> u8 {
+        if self.multicast {
+            if w == EMPTY_HDR {
+                0 // empty = no destinations
+            } else {
+                FragTag::unpack(w).dst_mask & 0xf
+            }
+        } else if w == EMPTY_HDR {
+            NPORTS as u8 // "empty"
+        } else {
+            FragTag::unpack(w).unicast_dst().unwrap_or(0) & 0x3
+        }
+    }
+
+    fn table_index(&self) -> usize {
+        if self.multicast {
+            global_index_mcast(self.token(), self.hdrs)
+        } else {
+            global_index(self.token(), self.hdrs)
+        }
+    }
+
+    fn token(&self) -> u8 {
+        self.token_seq[self.q % self.token_seq.len()]
+    }
+}
+
+impl TileProgram for CrossbarProgram {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        let me = self.port as usize;
+        match &mut self.st {
+            XbSt::WaitHalt => {
+                if io.switch_halted(NET0) {
+                    // hdr_pc is always 1 in generated code, but carry it
+                    // through cfg_pcs' sibling field for robustness.
+                    io.set_switch_pc(NET0, 1);
+                    self.st = XbSt::RecvOwn;
+                } else {
+                    io.idle();
+                }
+            }
+            XbSt::RecvOwn => {
+                if let Some(w) = io.recv_static(NET0) {
+                    self.hdrs[me] = self.hdr_code(w);
+                    self.ring_word = w;
+                    self.st = XbSt::RingSendOwn;
+                }
+            }
+            XbSt::RingSendOwn => {
+                if io.send_static(self.ring_word) {
+                    self.st = XbSt::RingRecv { k: 0 };
+                }
+            }
+            XbSt::RingRecv { k } => {
+                let kk = *k;
+                if let Some(w) = io.recv_static(NET0) {
+                    // k-th received word is the header of port (me-1-k).
+                    let owner = (me + NPORTS - 1 - kk) % NPORTS;
+                    self.hdrs[owner] = self.hdr_code(w);
+                    self.ring_word = w;
+                    self.st = if kk < 2 {
+                        XbSt::RingFwd { k: kk }
+                    } else {
+                        XbSt::ComputeIdx {
+                            left: self.idx_cycles,
+                        }
+                    };
+                }
+            }
+            XbSt::RingFwd { k } => {
+                let kk = *k;
+                if io.send_static(self.ring_word) {
+                    self.st = XbSt::RingRecv { k: kk + 1 };
+                }
+            }
+            XbSt::ComputeIdx { left } => {
+                io.compute();
+                *left -= 1;
+                if *left == 0 {
+                    self.st = XbSt::LoadEntry;
+                }
+            }
+            XbSt::LoadEntry => {
+                let gi = self.table_index();
+                if let Some(entry) = io.load(XBAR_TABLE_BASE + gi as u32) {
+                    let grant = entry >> 31 == 1;
+                    let cfg_id = (entry & 0xffff) as usize;
+                    let cfg_pc = self.cfg_pcs[cfg_id];
+                    self.st = XbSt::SendGrant { grant, cfg_pc };
+                }
+            }
+            XbSt::SendGrant { grant, cfg_pc } => {
+                let (g, pc) = (*grant, *cfg_pc);
+                if io.send_static(if g { GRANT } else { DENY }) {
+                    let mut s = self.stats.lock().unwrap();
+                    s.quanta += 1;
+                    if g {
+                        s.grants_issued += 1;
+                    }
+                    if pc != 0 {
+                        s.active_quanta += 1;
+                    }
+                    drop(s);
+                    self.st = XbSt::SwpcCfg { cfg_pc: pc };
+                }
+            }
+            XbSt::SwpcCfg { cfg_pc } => {
+                let pc = *cfg_pc;
+                if self.events.is_some() {
+                    let gi = self.table_index();
+                    self.decisions.lock().unwrap().push((self.q, gi, pc));
+                }
+                // Even the idle configuration targets the PC-0 WaitPc, so
+                // the switch returns to a known sync point.
+                io.set_switch_pc(NET0, pc);
+                self.q += 1; // the synchronous token counter (§5.1)
+                self.st = XbSt::WaitHalt;
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------
+// Egress
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+pub struct EgressStats {
+    pub fragments: u64,
+    pub packets: u64,
+    pub words_stored: u64,
+    pub words_streamed_out: u64,
+    pub reasm_errors: u64,
+}
+
+/// Egress operating mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EgressMode {
+    /// Bodies stream switch→line card; the processor only sees tags.
+    /// Requires every packet to fit one quantum.
+    CutThrough,
+    /// Bodies are buffered and reassembled per source (§4.2) and then
+    /// streamed out over network 1.
+    StoreForward,
+}
+
+enum EgSt {
+    Swpc,
+    Tag,
+    WaitHalt,
+    // store-forward path
+    RecvWord { j: usize },
+    StoreWord { j: usize, word: u32 },
+    Output { src: usize, i: usize, len: usize },
+}
+
+struct SrcAssembly {
+    words: usize,
+    expect_seq: Option<u16>,
+}
+
+pub struct EgressProgram {
+    mode: EgressMode,
+    quantum: usize,
+    cut_pc: usize,
+    store_pc: usize,
+    st: EgSt,
+    tag: Option<FragTag>,
+    asm: [SrcAssembly; NPORTS],
+    label: String,
+    pub stats: Arc<Mutex<EgressStats>>,
+}
+
+impl EgressProgram {
+    pub fn new(
+        port: u8,
+        code: &EgressCode,
+        quantum: usize,
+        mode: EgressMode,
+    ) -> (EgressProgram, Arc<Mutex<EgressStats>>) {
+        let stats = Arc::new(Mutex::new(EgressStats::default()));
+        (
+            EgressProgram {
+                mode,
+                quantum,
+                cut_pc: code.cut_pc,
+                store_pc: code.store_pc,
+                st: EgSt::Swpc,
+                tag: None,
+                asm: std::array::from_fn(|_| SrcAssembly {
+                    words: 0,
+                    expect_seq: None,
+                }),
+                label: format!("egress{port}"),
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+
+    fn buf_addr(src: usize, i: usize) -> u32 {
+        EG_BUF_BASE + src as u32 * EG_BUF_STRIDE + i as u32
+    }
+}
+
+impl TileProgram for EgressProgram {
+    fn tick(&mut self, io: &mut TileIo<'_>) {
+        match &mut self.st {
+            EgSt::Swpc => {
+                if io.switch_halted(NET0) {
+                    let pc = match self.mode {
+                        EgressMode::CutThrough => self.cut_pc,
+                        EgressMode::StoreForward => self.store_pc,
+                    };
+                    io.set_switch_pc(NET0, pc);
+                    self.st = EgSt::Tag;
+                } else {
+                    io.idle();
+                }
+            }
+            EgSt::Tag => {
+                // Blocking receive: an idle output port parks here,
+                // blocked on receive (gray in Figure 7-3).
+                if let Some(w) = io.recv_static(NET0) {
+                    let tag = FragTag::unpack(w);
+                    let mut s = self.stats.lock().unwrap();
+                    s.fragments += 1;
+                    if tag.last {
+                        s.packets += 1;
+                    }
+                    drop(s);
+                    if self.mode == EgressMode::StoreForward {
+                        // Reassembly protocol check, once per fragment.
+                        let src = tag.src_port as usize;
+                        let a = &mut self.asm[src];
+                        let ok = match (a.expect_seq, tag.first) {
+                            (None, true) => true,
+                            (Some(sq), false) => sq == tag.seq,
+                            _ => false,
+                        };
+                        if !ok {
+                            self.stats.lock().unwrap().reasm_errors += 1;
+                            a.words = 0; // resynchronize on this fragment
+                        }
+                        a.expect_seq = Some(tag.seq);
+                    }
+                    self.tag = Some(tag);
+                    self.st = match self.mode {
+                        EgressMode::CutThrough => EgSt::WaitHalt,
+                        EgressMode::StoreForward => EgSt::RecvWord { j: 0 },
+                    };
+                }
+            }
+            EgSt::WaitHalt => {
+                if io.switch_halted(NET0) {
+                    self.st = EgSt::Swpc;
+                    self.tick(io);
+                } else {
+                    io.idle();
+                }
+            }
+            EgSt::RecvWord { j } => {
+                let jj = *j;
+                if jj == self.quantum {
+                    // Fragment fully received: if it completed a packet,
+                    // stream it out.
+                    let tag = self.tag.take().expect("mid-fragment");
+                    let src = tag.src_port as usize;
+                    if tag.last {
+                        let len = self.asm[src].words;
+                        self.asm[src].words = 0;
+                        self.asm[src].expect_seq = None;
+                        self.st = EgSt::Output { src, i: 0, len };
+                    } else {
+                        self.st = EgSt::Swpc;
+                    }
+                    self.tick(io);
+                    return;
+                }
+                if let Some(w) = io.recv_static(NET0) {
+                    let tag = self.tag.expect("mid-fragment");
+                    if jj < tag.words as usize {
+                        self.st = EgSt::StoreWord { j: jj, word: w };
+                    } else {
+                        *j = jj + 1; // discard padding
+                    }
+                }
+            }
+            EgSt::StoreWord { j, word } => {
+                let (jj, w) = (*j, *word);
+                let tag = self.tag.expect("mid-fragment");
+                let src = tag.src_port as usize;
+                let _ = jj;
+                let idx = self.asm[src].words;
+                if io.store(Self::buf_addr(src, idx), w) {
+                    self.asm[src].words += 1;
+                    self.stats.lock().unwrap().words_stored += 1;
+                    self.st = EgSt::RecvWord { j: jj + 1 };
+                }
+            }
+            EgSt::Output { src, i, len } => {
+                let (s, ii, l) = (*src, *i, *len);
+                if ii == l {
+                    self.st = EgSt::Swpc;
+                    self.tick(io);
+                    return;
+                }
+                if io.load_send(Self::buf_addr(s, ii)) {
+                    self.stats.lock().unwrap().words_streamed_out += 1;
+                    *i = ii + 1;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}

@@ -1,0 +1,407 @@
+//! The assembled 4-port Raw router: machine + switch code + tile
+//! programs + line cards, with measurement helpers for the paper's
+//! experiments.
+
+use std::sync::{Arc, Mutex};
+
+use raw_lookup::{Engine, ForwardingTable};
+use raw_net::{ComputeOp, Packet};
+use raw_sim::{EdgePort, RawConfig, RawMachine, TraceWindow, NET0, NET1};
+
+use crate::codegen;
+use crate::config::{ConfigSpace, SchedPolicy};
+use crate::devices::{LineCardIn, LineCardOut, OutCollector, OutFraming};
+use crate::layout::{RouterLayout, NPORTS};
+/// Per-crossbar-tile decision log: `(quantum, table index, routine pc)`.
+pub type DecisionLog = Arc<Mutex<Vec<(usize, usize, usize)>>>;
+
+use crate::programs::{
+    CrossbarProgram, EgressMode, EgressProgram, EgressStats, IngressProgram, IngressStats,
+    LookupProgram, LookupStats, XbarStats, XBAR_TABLE_BASE,
+};
+
+/// Router-level configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Routing-quantum size in payload words (§5.1: "one quantum of
+    /// routing time … measured by the number of 32-bit words").
+    pub quantum_words: usize,
+    /// Egress mode: cut-through (packets must fit one quantum) or
+    /// store-and-forward reassembly.
+    pub cut_through: bool,
+    pub policy: SchedPolicy,
+    /// Weighted-token QoS (§8.7): port `i` holds the token for
+    /// `weights[i]` consecutive quanta per rotation.
+    pub weights: [u32; NPORTS],
+    pub engine: Engine,
+    /// Ingress header-verification/rewrite cost in cycles.
+    pub verify_cycles: u32,
+    /// Crossbar jump-table index computation cost in cycles.
+    pub idx_cycles: u32,
+    /// Computation-in-fabric opcode stamped on fragment tags (§8.3).
+    pub compute_op: ComputeOp,
+    /// Ingress queueing discipline: the paper's FIFO (with cut-through)
+    /// or virtual output queueing (HOL-blocking-free, store-and-forward).
+    pub queueing: crate::programs::IngressQueueing,
+    /// Run the Crossbar Processors as generated Raw *assembly* on the
+    /// `raw-isa` interpreter instead of native state machines (§6.5).
+    /// Implies the destination-mask jump table (as with `multicast`) and
+    /// requires uniform token weights.
+    pub asm_crossbar: bool,
+    /// Enable the §8.6 multicast extension: the configuration space and
+    /// jump tables cover destination *masks* (16^4 x 4 points), and the
+    /// forwarding table may return `raw_lookup::encode_multicast` hops.
+    /// Requires a quantum small enough that the larger minimized set
+    /// still fits switch instruction memory.
+    pub multicast: bool,
+    /// Record protocol events into [`RawRouter::events`].
+    pub debug_events: bool,
+    pub raw: RawConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            quantum_words: 64,
+            cut_through: true,
+            policy: SchedPolicy::default(),
+            weights: [1; NPORTS],
+            engine: Engine::Patricia,
+            verify_cycles: 8,
+            idx_cycles: 4,
+            compute_op: ComputeOp::None,
+            queueing: crate::programs::IngressQueueing::Fifo,
+            asm_crossbar: false,
+            multicast: false,
+            debug_events: false,
+            raw: RawConfig::default(),
+        }
+    }
+}
+
+/// Expand token weights into the cyclic token schedule.
+pub fn token_schedule(weights: [u32; NPORTS]) -> Vec<u8> {
+    let mut seq = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        for _ in 0..w.max(1) {
+            seq.push(i as u8);
+        }
+    }
+    seq
+}
+
+/// The assembled router.
+pub struct RawRouter {
+    pub machine: RawMachine,
+    /// Optional protocol event log (see [`RouterConfig::debug_events`]).
+    pub events: crate::programs::EventLog,
+    /// Per-crossbar-tile (quantum, table index, routine pc) decisions,
+    /// recorded when `debug_events` is set.
+    pub xb_decisions: [DecisionLog; NPORTS],
+    /// Architectural watches on the interpreted crossbar cores
+    /// (`asm_crossbar` mode only).
+    pub asm_watches: Vec<raw_isa::WatchHandle>,
+    pub layout: RouterLayout,
+    pub cfg: RouterConfig,
+    pub cs: Arc<ConfigSpace>,
+    in_ports: [EdgePort; NPORTS],
+    out_cols: [Arc<Mutex<OutCollector>>; NPORTS],
+    pub ig_stats: [Arc<Mutex<IngressStats>>; NPORTS],
+    pub lk_stats: [Arc<Mutex<LookupStats>>; NPORTS],
+    pub xb_stats: [Arc<Mutex<XbarStats>>; NPORTS],
+    pub eg_stats: [Arc<Mutex<EgressStats>>; NPORTS],
+    offered: u64,
+}
+
+impl RawRouter {
+    pub fn new(cfg: RouterConfig, table: Arc<ForwardingTable>) -> RawRouter {
+        assert!(
+            (1..=raw_net::MAX_FRAG_WORDS).contains(&cfg.quantum_words),
+            "quantum must fit the fragment tag's word-count field"
+        );
+        let layout = RouterLayout::canonical();
+        let mut machine = RawMachine::new(cfg.raw.clone());
+        if cfg.asm_crossbar {
+            assert!(
+                cfg.weights.iter().all(|&w| w == 1),
+                "the assembly crossbar uses a plain modulo-4 token"
+            );
+        }
+        let cs = Arc::new(if cfg.multicast || cfg.asm_crossbar {
+            ConfigSpace::enumerate_multicast(cfg.policy)
+        } else {
+            ConfigSpace::enumerate(cfg.policy)
+        });
+        let token_seq = token_schedule(cfg.weights);
+        let dim = layout.dim;
+
+        let events: crate::programs::EventLog = Arc::new(Mutex::new(Vec::new()));
+        let mut xb_decisions: Vec<DecisionLog> = Vec::new();
+        let mut asm_watches: Vec<raw_isa::WatchHandle> = Vec::new();
+        let mut in_ports = Vec::with_capacity(NPORTS);
+        let mut out_cols = Vec::with_capacity(NPORTS);
+        let mut ig_stats = Vec::with_capacity(NPORTS);
+        let mut lk_stats = Vec::with_capacity(NPORTS);
+        let mut xb_stats = Vec::with_capacity(NPORTS);
+        let mut eg_stats = Vec::with_capacity(NPORTS);
+
+        for (i, p) in layout.ports.iter().enumerate() {
+            let port = i as u8;
+            // --- Ingress ---
+            let ig_code = codegen::gen_ingress_switch(p, cfg.quantum_words);
+            machine.set_switch_program(p.ingress, NET0, ig_code.program.clone());
+            let (mut ig, igs) = IngressProgram::new(
+                port,
+                p,
+                &ig_code,
+                cfg.quantum_words,
+                dim.coords(p.lookup),
+                cfg.verify_cycles,
+                cfg.compute_op,
+                cfg.queueing,
+            );
+            if cfg.debug_events {
+                ig.events = Some(Arc::clone(&events));
+            }
+            machine.set_program(p.ingress, Box::new(ig));
+            ig_stats.push(igs);
+            let in_port = EdgePort::new(p.ingress, p.in_edge, NET0);
+            machine.bind_device(in_port, Box::new(LineCardIn::new()));
+            in_ports.push(in_port);
+
+            // --- Lookup ---
+            let (lk, lks) =
+                LookupProgram::new(port, Arc::clone(&table), cfg.engine, dim.coords(p.ingress));
+            machine.set_program(p.lookup, Box::new(lk));
+            lk_stats.push(lks);
+
+            // --- Crossbar ---
+            let xb_code = codegen::gen_crossbar_switch(p, &cs, cfg.quantum_words);
+            assert!(
+                xb_code.program.fits_switch_imem(),
+                "crossbar switch program exceeds instruction memory"
+            );
+            machine.set_switch_program(p.crossbar, NET0, xb_code.program.clone());
+            if cfg.asm_crossbar {
+                // The §6.5 path: generated Raw assembly with a
+                // PC-carrying jump table, interpreted cycle-accurately.
+                let image = crate::asm_xbar::table_image_pc(&cs, i, &xb_code);
+                let mem = machine.tile_mem_mut(p.crossbar);
+                mem[..image.len()].copy_from_slice(&image);
+                let core = crate::asm_xbar::gen_crossbar_asm(i, xb_code.hdr_pc);
+                let (core, watch) = core.watched();
+                asm_watches.push(watch);
+                machine.set_program(p.crossbar, Box::new(core));
+                // Statistics are not collected from the interpreted core;
+                // keep placeholder slots so indices line up.
+                let (_unused, xbs) =
+                    CrossbarProgram::new(port, &xb_code, token_seq.clone(), cfg.idx_cycles, true);
+                xb_decisions.push(Arc::new(Mutex::new(Vec::new())));
+                xb_stats.push(xbs);
+            } else {
+                let image = CrossbarProgram::table_image(&cs, i);
+                let mem = machine.tile_mem_mut(p.crossbar);
+                mem[XBAR_TABLE_BASE as usize..XBAR_TABLE_BASE as usize + image.len()]
+                    .copy_from_slice(&image);
+                let (mut xb, xbs) = CrossbarProgram::new(
+                    port,
+                    &xb_code,
+                    token_seq.clone(),
+                    cfg.idx_cycles,
+                    cfg.multicast,
+                );
+                if cfg.debug_events {
+                    xb.events = Some(Arc::clone(&events));
+                }
+                xb_decisions.push(Arc::clone(&xb.decisions));
+                machine.set_program(p.crossbar, Box::new(xb));
+                xb_stats.push(xbs);
+            }
+
+            // --- Egress ---
+            let eg_code = codegen::gen_egress_switch(p, cfg.quantum_words);
+            machine.set_switch_program(p.egress, NET0, eg_code.program.clone());
+            machine.set_switch_program(p.egress, NET1, codegen::gen_egress_net1(p));
+            let mode = if cfg.cut_through {
+                EgressMode::CutThrough
+            } else {
+                EgressMode::StoreForward
+            };
+            let (eg, egs) = EgressProgram::new(port, &eg_code, cfg.quantum_words, mode);
+            machine.set_program(p.egress, Box::new(eg));
+            eg_stats.push(egs);
+            let (framing, out_port) = if cfg.cut_through {
+                (
+                    OutFraming::TaggedQuantum {
+                        quantum: cfg.quantum_words,
+                    },
+                    EdgePort::new(p.egress, p.out_edge, NET0),
+                )
+            } else {
+                (
+                    OutFraming::RawPackets,
+                    EdgePort::new(p.egress, p.out_edge, NET1),
+                )
+            };
+            let (out, col) = LineCardOut::new(framing);
+            machine.bind_device(out_port, Box::new(out));
+            out_cols.push(col);
+        }
+
+        RawRouter {
+            machine,
+            events,
+            asm_watches,
+            xb_decisions: xb_decisions.try_into().map_err(|_| ()).unwrap(),
+            layout,
+            cfg,
+            cs,
+            in_ports: in_ports.try_into().map_err(|_| ()).unwrap(),
+            out_cols: out_cols.try_into().map_err(|_| ()).unwrap(),
+            ig_stats: ig_stats.try_into().map_err(|_| ()).unwrap(),
+            lk_stats: lk_stats.try_into().map_err(|_| ()).unwrap(),
+            xb_stats: xb_stats.try_into().map_err(|_| ()).unwrap(),
+            eg_stats: eg_stats.try_into().map_err(|_| ()).unwrap(),
+            offered: 0,
+        }
+    }
+
+    /// Queue a packet for injection on input `port` at `release` cycles.
+    pub fn offer(&mut self, port: usize, release: u64, pkt: &Packet) {
+        if self.cfg.cut_through {
+            assert!(
+                pkt.total_words() <= self.cfg.quantum_words,
+                "cut-through egress requires packets (<= {} words) to fit one quantum; got {}",
+                self.cfg.quantum_words,
+                pkt.total_words()
+            );
+        }
+        let lc = self
+            .machine
+            .device_mut::<LineCardIn>(self.in_ports[port])
+            .expect("line card bound");
+        lc.offer(release, pkt);
+        self.offered += 1;
+    }
+
+    /// Total packets offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    pub fn run(&mut self, cycles: u64) {
+        self.machine.run(cycles);
+    }
+
+    /// Packets the ingresses dropped (bad header / expired TTL).
+    pub fn dropped_count(&self) -> u64 {
+        self.ig_stats
+            .iter()
+            .map(|s| s.lock().unwrap().packets_dropped)
+            .sum()
+    }
+
+    /// Run until every offered packet has been delivered or dropped, or
+    /// `max_cycles` pass. Returns true on full accounting.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        let deadline = self.machine.cycle() + max_cycles;
+        while self.machine.cycle() < deadline {
+            if self.delivered_count() + self.dropped_count() >= self.offered {
+                return true;
+            }
+            self.machine.run(256);
+        }
+        self.delivered_count() + self.dropped_count() >= self.offered
+    }
+
+    /// Packets delivered at output `port`, in arrival order.
+    pub fn delivered(&self, port: usize) -> Vec<(u64, Packet)> {
+        self.out_cols[port].lock().unwrap().packets.clone()
+    }
+
+    pub fn collector(&self, port: usize) -> Arc<Mutex<OutCollector>> {
+        Arc::clone(&self.out_cols[port])
+    }
+
+    pub fn delivered_count(&self) -> u64 {
+        self.out_cols
+            .iter()
+            .map(|c| c.lock().unwrap().packets.len() as u64)
+            .sum()
+    }
+
+    /// Total output parse errors across ports (must be zero in a healthy
+    /// run).
+    pub fn parse_errors(&self) -> u64 {
+        self.out_cols
+            .iter()
+            .map(|c| {
+                let c = c.lock().unwrap();
+                c.parse_errors + c.unexpected_fragments
+            })
+            .sum()
+    }
+
+    /// Bits of delivered IP packets whose completion fell in
+    /// `[from_cycle, to_cycle)`.
+    pub fn delivered_bits_between(&self, from_cycle: u64, to_cycle: u64) -> u64 {
+        self.out_cols
+            .iter()
+            .map(|c| {
+                c.lock()
+                    .unwrap()
+                    .packets
+                    .iter()
+                    .filter(|(cyc, _)| (from_cycle..to_cycle).contains(cyc))
+                    .map(|(_, p)| p.total_bytes() as u64 * 8)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Packets delivered in a cycle window.
+    pub fn delivered_packets_between(&self, from_cycle: u64, to_cycle: u64) -> u64 {
+        self.out_cols
+            .iter()
+            .map(|c| {
+                c.lock()
+                    .unwrap()
+                    .packets
+                    .iter()
+                    .filter(|(cyc, _)| (from_cycle..to_cycle).contains(cyc))
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Aggregate throughput over a cycle window, in Gbps at the
+    /// configured clock.
+    pub fn throughput_gbps(&self, from_cycle: u64, to_cycle: u64) -> f64 {
+        let bits = self.delivered_bits_between(from_cycle, to_cycle) as f64;
+        let secs = (to_cycle - from_cycle) as f64 / (self.cfg.raw.clock_mhz as f64 * 1e6);
+        bits / secs / 1e9
+    }
+
+    /// Packets per second over a cycle window (the paper's Mpps metric,
+    /// scaled).
+    pub fn pps(&self, from_cycle: u64, to_cycle: u64) -> f64 {
+        let pkts = self.delivered_packets_between(from_cycle, to_cycle) as f64;
+        let secs = (to_cycle - from_cycle) as f64 / (self.cfg.raw.clock_mhz as f64 * 1e6);
+        pkts / secs
+    }
+
+    /// Start a Figure 7-3 style utilization trace.
+    pub fn start_trace(&mut self, start_cycle: u64, len: usize) {
+        self.machine.start_trace(start_cycle, len);
+    }
+
+    pub fn take_trace(&mut self) -> Option<TraceWindow> {
+        self.machine.take_trace()
+    }
+
+    /// The synchronous token counters of all four crossbar tiles must
+    /// agree (§5.1). Returns the counts for assertion in tests.
+    pub fn token_counters(&self) -> [u64; NPORTS] {
+        std::array::from_fn(|i| self.xb_stats[i].lock().unwrap().quanta)
+    }
+}
