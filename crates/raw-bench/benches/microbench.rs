@@ -41,6 +41,47 @@ fn bench_router(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cycle engine itself: simulated cycles per second of host time in
+/// both engine modes. The saturated router isolates the zero-allocation
+/// hot path (line cards offer a word every cycle, so event-skip never
+/// engages); the throttled drip-feed pipe isolates the skip.
+fn bench_sim_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_speed");
+    g.sample_size(10);
+    for ff in [true, false] {
+        let mode = if ff { "skip" } else { "percycle" };
+        g.bench_function(format!("router_64B_saturated_{mode}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = RouterConfig {
+                        quantum_words: 16,
+                        cut_through: true,
+                        ..RouterConfig::default()
+                    };
+                    cfg.raw.fast_forward = ff;
+                    let mut r = RawRouter::new(cfg, raw_bench::experiment_table());
+                    for sp in generate(&Workload::peak(64, 2000)) {
+                        r.offer(sp.port, sp.release, &sp.packet);
+                    }
+                    r
+                },
+                |mut r| {
+                    r.run(20_000);
+                    r.delivered_count()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_function(format!("drip_feed_quiet_{mode}"), |b| {
+            b.iter(|| {
+                let rep = raw_bench::simspeed_drip_once(2_000, 64, ff);
+                std::hint::black_box(rep)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Table 6.1's engine: the sequential-walk scheduler and the full
 /// configuration-space enumeration.
 fn bench_scheduler(c: &mut Criterion) {
@@ -139,6 +180,7 @@ fn bench_fabrics(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_router,
+    bench_sim_speed,
     bench_scheduler,
     bench_lookup,
     bench_ipv4,

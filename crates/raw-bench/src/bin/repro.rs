@@ -357,6 +357,56 @@ fn run_lookup() {
     write_json(&results_dir(), "lookup_ablation", &rows).unwrap();
 }
 
+fn run_simspeed() {
+    // `repro -- simspeed [cycles]`: a smaller span makes a smoke test
+    // (CI); the default matches the Figure 7-1 measurement run.
+    let cycles = match std::env::args().nth(2) {
+        None => 220_000,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("simspeed: '{s}' is not a cycle count")),
+    };
+    println!("== simulator performance: wall-clock per engine mode ({cycles} router cycles) ==");
+    let rep = simspeed(cycles);
+    let rows: Vec<Vec<String>> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                if r.fast_forward { "skip" } else { "per-cycle" }.into(),
+                r.sim_cycles.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.2}M", r.cycles_per_sec / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["scenario", "engine", "sim cycles", "wall ms", "cyc/s"],
+            &rows
+        )
+    );
+    for s in &rep.speedups {
+        println!(
+            "{:>14}: {:.2}x speedup, results {}",
+            s.scenario,
+            s.speedup,
+            if s.fingerprints_match {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        assert!(
+            s.fingerprints_match,
+            "fast-forward must not change simulation results"
+        );
+    }
+    write_json(&results_dir(), "simspeed", &rep).unwrap();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -386,11 +436,13 @@ fn main() {
     run("ablation-voq", &run_voq);
     run("asm-crossbar", &run_asm);
     run("latency", &run_latency);
+    run("simspeed", &run_simspeed);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
-             multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency"
+             multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
+             simspeed"
         );
         std::process::exit(2);
     }

@@ -66,29 +66,38 @@ fn packets_for(bytes: usize, cycles: u64) -> usize {
 const WARM: u64 = 20_000;
 const WINDOW: u64 = 200_000;
 
-/// Run one simulation per packet size on its own thread (each simulator
-/// instance is deterministic and self-contained, so the sweep
-/// parallelizes perfectly).
-fn parallel_sweep(mk: impl Fn(usize) -> Workload + Sync) -> Vec<SizePoint> {
-    let out = parking_lot::Mutex::new(vec![None; PAPER_SIZES.len()]);
+/// Run `f` over every item on its own thread, preserving item order in
+/// the results. Each simulator instance is deterministic and
+/// self-contained, so a fanned-out sweep returns exactly what the
+/// sequential loop would — only the wall-clock changes.
+fn parallel_points<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let out = parking_lot::Mutex::new((0..items.len()).map(|_| None).collect::<Vec<Option<R>>>());
     crossbeam::scope(|scope| {
-        for (i, (&bytes, paper)) in PAPER_SIZES.iter().zip(PAPER_PEAK_GBPS).enumerate() {
+        for (i, item) in items.iter().enumerate() {
             let out = &out;
-            let mk = &mk;
+            let f = &f;
             scope.spawn(move |_| {
-                let w = mk(bytes);
-                let (gbps, mpps) = run_router_throughput(&w, WARM, WINDOW);
-                out.lock()[i] = Some(SizePoint {
-                    bytes,
-                    gbps,
-                    mpps,
-                    paper_gbps: paper,
-                });
+                let r = f(item);
+                out.lock()[i] = Some(r);
             });
         }
     })
     .expect("sweep threads");
     out.into_inner().into_iter().map(Option::unwrap).collect()
+}
+
+/// Run one simulation per packet size on its own thread.
+fn parallel_sweep(mk: impl Fn(usize) -> Workload + Sync) -> Vec<SizePoint> {
+    parallel_points(&PAPER_SIZES, |&bytes| {
+        let w = mk(bytes);
+        let (gbps, mpps) = run_router_throughput(&w, WARM, WINDOW);
+        SizePoint {
+            bytes,
+            gbps,
+            mpps,
+            paper_gbps: 0.0, // filled in by the caller
+        }
+    })
 }
 
 /// E1 / Figure 7-1 (top): peak throughput under conflict-free
@@ -387,9 +396,8 @@ pub struct DeadlockSweep {
 }
 
 pub fn deadlock_sweep(trials: u32) -> DeadlockSweep {
-    let mut drained = 0u32;
-    let mut packets_total = 0u64;
-    for t in 0..trials {
+    let ts: Vec<u32> = (0..trials).collect();
+    let per_trial = parallel_points(&ts, |&t| {
         let bytes = [64usize, 128, 256, 512][t as usize % 4];
         let pattern = match t % 3 {
             0 => Pattern::Uniform,
@@ -408,18 +416,16 @@ pub fn deadlock_sweep(trials: u32) -> DeadlockSweep {
         };
         let mut r = RawRouter::new(cfg, experiment_table());
         let sched = generate(&w);
-        packets_total += sched.len() as u64;
         for sp in &sched {
             r.offer(sp.port, sp.release, &sp.packet);
         }
-        if r.run_until_drained(3_000_000) && r.parse_errors() == 0 {
-            drained += 1;
-        }
-    }
+        let ok = r.run_until_drained(3_000_000) && r.parse_errors() == 0;
+        (ok, sched.len() as u64)
+    });
     DeadlockSweep {
         trials,
-        drained,
-        packets_total,
+        drained: per_trial.iter().filter(|(ok, _)| *ok).count() as u32,
+        packets_total: per_trial.iter().map(|(_, n)| n).sum(),
     }
 }
 
@@ -507,14 +513,11 @@ pub struct ScalingRow {
 }
 
 pub fn scaling_study() -> Vec<ScalingRow> {
-    [4usize, 8, 16, 32]
-        .iter()
-        .map(|&n| ScalingRow {
-            ports: n,
-            ring_throughput: raw_xbar::ring_saturation_throughput(n, 30_000, 5),
-            mesh_throughput: raw_xbar::mesh_scaling_throughput(n / 4),
-        })
-        .collect()
+    parallel_points(&[4usize, 8, 16, 32], |&n| ScalingRow {
+        ports: n,
+        ring_throughput: raw_xbar::ring_saturation_throughput(n, 30_000, 5),
+        mesh_throughput: raw_xbar::mesh_scaling_throughput(n / 4),
+    })
 }
 
 /// §6.5: the Crossbar Processors as generated Raw assembly on the
@@ -639,51 +642,48 @@ pub fn latency_sweep() -> Vec<LatencyRow> {
     // A packet takes ~(quantum + overhead) cycles of port time; scale the
     // Bernoulli slot so `p` maps to the offered fraction of capacity.
     let service = (quantum + 50) as u64;
-    [10u32, 30, 50, 70, 90]
-        .iter()
-        .map(|&load_pct| {
-            let cfg = RouterConfig {
-                quantum_words: quantum,
-                cut_through: true,
-                ..RouterConfig::default()
-            };
-            let mut r = RawRouter::new(cfg, experiment_table());
-            let w = Workload {
-                arrivals: raw_workloads::Arrivals::Bernoulli {
-                    slot_cycles: service,
-                    p_mille: load_pct * 10,
-                },
-                ..Workload::average(bytes, 400, 9)
-            };
-            let sched = generate(&w);
-            // Release time per (src, id) for latency accounting.
-            let mut release = std::collections::BTreeMap::new();
-            for sp in &sched {
-                release.insert((sp.port, sp.packet.header.id), sp.release);
-                r.offer(sp.port, sp.release, &sp.packet);
-            }
-            r.run_until_drained(40_000_000);
-            let mut lats: Vec<u64> = Vec::new();
-            for port in 0..4 {
-                for (cycle, p) in r.delivered(port) {
-                    let src = (p.header.src & 0x3) as usize;
-                    if let Some(rel) = release.get(&(src, p.header.id)) {
-                        lats.push(cycle.saturating_sub(*rel));
-                    }
+    parallel_points(&[10u32, 30, 50, 70, 90], |&load_pct| {
+        let cfg = RouterConfig {
+            quantum_words: quantum,
+            cut_through: true,
+            ..RouterConfig::default()
+        };
+        let mut r = RawRouter::new(cfg, experiment_table());
+        let w = Workload {
+            arrivals: raw_workloads::Arrivals::Bernoulli {
+                slot_cycles: service,
+                p_mille: load_pct * 10,
+            },
+            ..Workload::average(bytes, 400, 9)
+        };
+        let sched = generate(&w);
+        // Release time per (src, id) for latency accounting.
+        let mut release = std::collections::BTreeMap::new();
+        for sp in &sched {
+            release.insert((sp.port, sp.packet.header.id), sp.release);
+            r.offer(sp.port, sp.release, &sp.packet);
+        }
+        r.run_until_drained(40_000_000);
+        let mut lats: Vec<u64> = Vec::new();
+        for port in 0..4 {
+            for (cycle, p) in r.delivered(port) {
+                let src = (p.header.src & 0x3) as usize;
+                if let Some(rel) = release.get(&(src, p.header.id)) {
+                    lats.push(cycle.saturating_sub(*rel));
                 }
             }
-            lats.sort_unstable();
-            let delivered = lats.len() as u64;
-            let mean = lats.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
-            let p95 = lats.get(lats.len() * 95 / 100).copied().unwrap_or(0);
-            LatencyRow {
-                load_pct,
-                mean_cycles: mean,
-                p95_cycles: p95,
-                delivered,
-            }
-        })
-        .collect()
+        }
+        lats.sort_unstable();
+        let delivered = lats.len() as u64;
+        let mean = lats.iter().sum::<u64>() as f64 / delivered.max(1) as f64;
+        let p95 = lats.get(lats.len() * 95 / 100).copied().unwrap_or(0);
+        LatencyRow {
+            load_pct,
+            mean_cycles: mean,
+            p95_cycles: p95,
+            delivered,
+        }
+    })
 }
 
 /// Quantum ablation: throughput of 1,024-byte packets as the quantum

@@ -7,6 +7,8 @@
 
 pub mod experiments;
 pub mod report;
+pub mod simspeed;
 
 pub use experiments::*;
 pub use report::*;
+pub use simspeed::*;

@@ -1,0 +1,236 @@
+//! Simulator-performance measurement (`repro -- simspeed`).
+//!
+//! Times representative workloads under the cycle engine and reports
+//! simulated cycles per wall-clock second, with the event-skip
+//! fast-forward enabled and disabled. Each scenario also produces a
+//! result fingerprint so the table doubles as a determinism check: a
+//! speedup is only admissible if both modes computed the same thing.
+//!
+//! Scenarios:
+//! - `router-64B` / `router-1024B`: the Figure 7-1 peak pipeline at
+//!   saturation. Line cards offer a word every cycle, so the skip never
+//!   engages — these rows isolate the zero-allocation hot path.
+//! - `drip-feed`: a 4-hop static-network pipe throttled by a
+//!   rate-limited sink, quiet most cycles — these rows isolate the skip.
+//! - `idle-fabric`: a fully idle machine, the skip's upper bound.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use raw_sim::{
+    Dir, EdgePort, RawConfig, RawMachine, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram,
+    WordSink, WordSource, NET0,
+};
+use raw_workloads::{generate, Workload};
+use raw_xbar::{RawRouter, RouterConfig};
+
+use crate::experiment_table;
+
+/// One timed run of one scenario in one engine mode.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedRow {
+    pub scenario: String,
+    pub fast_forward: bool,
+    /// Simulated cycles executed.
+    pub sim_cycles: u64,
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Scenario-defined digest of the simulation's observable results;
+    /// must match between the two engine modes.
+    pub fingerprint: String,
+}
+
+/// The full `simspeed` report: paired rows plus per-scenario speedups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedReport {
+    /// Cycles simulated per router scenario (`1x` = the default span).
+    pub router_cycles: u64,
+    pub rows: Vec<SpeedRow>,
+    pub speedups: Vec<ScenarioSpeedup>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioSpeedup {
+    pub scenario: String,
+    /// wall(per-cycle) / wall(fast-forward).
+    pub speedup: f64,
+    pub fingerprints_match: bool,
+}
+
+fn time_run(mut body: impl FnMut() -> (u64, String)) -> (u64, f64, String) {
+    let t0 = Instant::now();
+    let (cycles, fp) = body();
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    (cycles, wall, fp)
+}
+
+fn router_scenario(bytes: usize, span: u64, fast_forward: bool) -> (u64, String) {
+    let quantum = bytes / 4;
+    let mut cfg = RouterConfig {
+        quantum_words: quantum,
+        cut_through: true,
+        ..RouterConfig::default()
+    };
+    cfg.raw.fast_forward = fast_forward;
+    let mut r = RawRouter::new(cfg, experiment_table());
+    let packets = ((span as usize) / (bytes / 4)).clamp(64, 8000);
+    for sp in generate(&Workload::peak(bytes, packets)) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    r.run(span);
+    let warm = (span / 10).min(20_000);
+    let fp = format!(
+        "delivered={} gbps={:.6} mpps={:.6} errors={}",
+        r.delivered_count(),
+        r.throughput_gbps(warm, span),
+        r.pps(warm, span) / 1e6,
+        r.parse_errors()
+    );
+    (span, fp)
+}
+
+/// A word source feeding a straight 4-hop pipe across the top row into a
+/// sink that accepts one word every `interval` cycles: the machine is
+/// provably quiet between accept windows, so almost every cycle is
+/// skippable.
+fn drip_scenario(words: u32, interval: u64, fast_forward: bool) -> (u64, String) {
+    let cfg = RawConfig {
+        fast_forward,
+        ..RawConfig::default()
+    };
+    let dim = cfg.dim;
+    let mut m = RawMachine::new(cfg);
+    let forward = SwitchProgram::new(vec![SwitchInstr::new(
+        vec![Route::new(
+            NET0,
+            SwPort::from_dir(Dir::West),
+            SwPort::from_dir(Dir::East),
+        )],
+        SwitchCtrl::Jump(0),
+    )]);
+    for c in 0..dim.cols {
+        m.set_switch_program(dim.tile(0, c), NET0, forward.clone());
+    }
+    m.bind_device(
+        EdgePort::new(dim.tile(0, 0), Dir::West, NET0),
+        Box::new(WordSource::new(0..words)),
+    );
+    let (sink, collected) = WordSink::rate_limited(interval);
+    m.bind_device(
+        EdgePort::new(dim.tile(0, dim.cols - 1), Dir::East, NET0),
+        Box::new(sink),
+    );
+    let span = (words as u64 + 16) * interval;
+    m.run(span);
+    let got = collected.lock().unwrap();
+    let digest = got.iter().fold(0u64, |acc, &(cyc, w)| {
+        acc.wrapping_mul(0x100000001b3).wrapping_add(cyc ^ w as u64)
+    });
+    (span, format!("delivered={} digest={digest:#x}", got.len()))
+}
+
+/// One drip-feed run, exposed for the `sim_speed` micro-benchmarks.
+pub fn simspeed_drip_once(words: u32, interval: u64, fast_forward: bool) -> (u64, String) {
+    drip_scenario(words, interval, fast_forward)
+}
+
+/// A machine with no programs, no devices, nothing to do.
+fn idle_scenario(span: u64, fast_forward: bool) -> (u64, String) {
+    let cfg = RawConfig {
+        fast_forward,
+        ..RawConfig::default()
+    };
+    let mut m = RawMachine::new(cfg);
+    m.run(span);
+    let idle: u64 = (0..m.last_activities().len())
+        .map(|t| m.stats(raw_sim::TileId(t as u16)).counts[0])
+        .sum();
+    (span, format!("cycle={} idle_cycles={idle}", m.cycle()))
+}
+
+/// Run every scenario in both engine modes. `router_cycles` scales the
+/// router scenarios (the CI smoke test passes a small span; the default
+/// matches the Figure 7-1 measurement run).
+type Scenario = (String, Box<dyn Fn(bool) -> (u64, String)>);
+
+pub fn simspeed(router_cycles: u64) -> SpeedReport {
+    let drip_words = (router_cycles / 64).clamp(64, 4_000) as u32;
+    let scenarios: Vec<Scenario> = vec![
+        (
+            "router-64B".into(),
+            Box::new(move |ff| router_scenario(64, router_cycles, ff)),
+        ),
+        (
+            "router-1024B".into(),
+            Box::new(move |ff| router_scenario(1024, router_cycles, ff)),
+        ),
+        (
+            "drip-feed".into(),
+            Box::new(move |ff| drip_scenario(drip_words, 64, ff)),
+        ),
+        (
+            "idle-fabric".into(),
+            Box::new(move |ff| idle_scenario(router_cycles.max(1_000_000), ff)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, run) in &scenarios {
+        let mut pair = Vec::new();
+        for ff in [true, false] {
+            let (cycles, wall_ms, fingerprint) = time_run(|| run(ff));
+            pair.push(SpeedRow {
+                scenario: name.clone(),
+                fast_forward: ff,
+                sim_cycles: cycles,
+                wall_ms,
+                cycles_per_sec: cycles as f64 / (wall_ms / 1e3),
+                fingerprint,
+            });
+        }
+        let (ff_row, ref_row) = (&pair[0], &pair[1]);
+        speedups.push(ScenarioSpeedup {
+            scenario: name.clone(),
+            speedup: ref_row.wall_ms / ff_row.wall_ms,
+            fingerprints_match: ff_row.fingerprint == ref_row.fingerprint,
+        });
+        rows.extend(pair);
+    }
+    SpeedReport {
+        router_cycles,
+        rows,
+        speedups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_agree_on_every_scenario() {
+        let rep = simspeed(20_000);
+        for s in &rep.speedups {
+            assert!(
+                s.fingerprints_match,
+                "{}: fast-forward diverged from per-cycle stepping",
+                s.scenario
+            );
+        }
+        assert_eq!(rep.rows.len(), 8);
+    }
+
+    #[test]
+    fn drip_feed_skips_most_cycles() {
+        // The throttled pipe must produce identical deliveries in both
+        // modes (the digest covers cycle stamps, not just values).
+        let (c1, fp1) = drip_scenario(256, 64, true);
+        let (c2, fp2) = drip_scenario(256, 64, false);
+        assert_eq!(c1, c2);
+        assert_eq!(fp1, fp2);
+        assert!(fp1.contains("delivered=256"));
+    }
+}

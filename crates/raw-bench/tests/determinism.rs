@@ -1,0 +1,93 @@
+//! Golden determinism tests.
+//!
+//! Two guarantees, both load-bearing for every number in `results/`:
+//! 1. Reproducibility — the same experiment run twice produces
+//!    byte-identical metrics and traces (no hidden host-dependent state).
+//! 2. Engine equivalence — the event-skip fast-forward produces results
+//!    bit-identical to per-cycle stepping: throughput, per-tile activity
+//!    statistics, switch stalls, and the full Figure 7-3 trace.
+
+use raw_sim::TileId;
+use raw_workloads::{generate, Workload};
+use raw_xbar::{RawRouter, RouterConfig};
+
+/// A fig7-1-peak-style run at one packet size with a fig7-3-style trace
+/// window, distilled to two strings: a metrics fingerprint and the full
+/// per-cycle trace CSV.
+fn traced_peak(bytes: usize, fast_forward: bool) -> (String, String) {
+    let quantum = bytes / 4;
+    let mut cfg = RouterConfig {
+        quantum_words: quantum,
+        cut_through: true,
+        ..RouterConfig::default()
+    };
+    cfg.raw.fast_forward = fast_forward;
+    let mut r = RawRouter::new(cfg, raw_bench::experiment_table());
+    for sp in generate(&Workload::peak(bytes, 800)) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    r.start_trace(10_000, 800);
+    r.run(40_000);
+
+    let mut metrics = format!(
+        "gbps={:.9} mpps={:.9} delivered={} errors={}",
+        r.throughput_gbps(10_000, 40_000),
+        r.pps(10_000, 40_000) / 1e6,
+        r.delivered_count(),
+        r.parse_errors()
+    );
+    for t in 0..16u16 {
+        let tile = TileId(t);
+        metrics.push_str(&format!(
+            " t{t}={:?}/{}",
+            r.machine.stats(tile).counts,
+            r.machine.switch_stall_cycles(tile)
+        ));
+    }
+    let trace = r.take_trace().expect("trace complete").to_csv();
+    (metrics, trace)
+}
+
+#[test]
+fn peak_run_is_reproducible() {
+    assert_eq!(
+        traced_peak(256, true),
+        traced_peak(256, true),
+        "identical runs diverged"
+    );
+}
+
+#[test]
+fn fast_forward_matches_per_cycle_reference() {
+    let (m_skip, t_skip) = traced_peak(256, true);
+    let (m_ref, t_ref) = traced_peak(256, false);
+    assert_eq!(m_skip, m_ref, "metrics diverged between engine modes");
+    assert_eq!(t_skip, t_ref, "trace diverged between engine modes");
+}
+
+#[test]
+fn fig7_3_is_reproducible() {
+    let (ascii_a, csv_a) = raw_bench::fig7_3(64);
+    let (ascii_b, csv_b) = raw_bench::fig7_3(64);
+    assert_eq!(ascii_a, ascii_b);
+    assert_eq!(csv_a, csv_b);
+}
+
+#[test]
+fn parallel_sweeps_are_reproducible() {
+    // The fanned-out sweeps must return the same rows in the same order
+    // every time (each point is a self-contained simulator instance).
+    let a = raw_bench::scaling_study();
+    let b = raw_bench::scaling_study();
+    let key = |rows: &[raw_bench::ScalingRow]| -> Vec<(usize, String)> {
+        rows.iter()
+            .map(|r| {
+                (
+                    r.ports,
+                    format!("{:.9}/{:.9}", r.ring_throughput, r.mesh_throughput),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(key(&a), key(&b));
+}

@@ -79,6 +79,11 @@ pub struct DynNet {
     pub dropped_at_edge: u64,
     /// Total words moved (for progress detection).
     pub words_moved: u64,
+    /// Words currently buffered in router *input* FIFOs (not `$cdni`).
+    /// While zero, [`DynNet::step`] has nothing to do and returns
+    /// immediately — the common case whenever a workload leaves the
+    /// dynamic networks idle.
+    in_network: u64,
 }
 
 impl DynNet {
@@ -97,6 +102,7 @@ impl DynNet {
             routers,
             dropped_at_edge: 0,
             words_moved: 0,
+            in_network: 0,
         }
     }
 
@@ -121,7 +127,11 @@ impl DynNet {
     /// when the inject FIFO is full.
     #[must_use]
     pub fn inject(&mut self, tile: TileId, word: u32, cycle: u64) -> bool {
-        self.routers[tile.index()].inputs[IN_INJECT].push(word, cycle)
+        let ok = self.routers[tile.index()].inputs[IN_INJECT].push(word, cycle);
+        if ok {
+            self.in_network += 1;
+        }
+        ok
     }
 
     /// True if the inject FIFO can take another word.
@@ -147,6 +157,11 @@ impl DynNet {
     /// Advance every router one cycle. Each input channel moves at most one
     /// word; each output accepts at most one word.
     pub fn step(&mut self, cycle: u64) {
+        if self.in_network == 0 {
+            // No words in any router input: nothing can move ($cdni words
+            // only wait for their consumer). Skip the full-grid scan.
+            return;
+        }
         // One output may be claimed per cycle; destination space is checked
         // against live occupancy, and moved words are timestamped with the
         // current cycle so they travel one hop per cycle.
@@ -216,11 +231,15 @@ impl DynNet {
     /// Attempt to move `word` from input `i` of tile `t` to output `out`.
     fn try_move(&mut self, t: usize, i: usize, out: Out, word: u32, cycle: u64) -> bool {
         let tile = TileId(t as u16);
+        // Whether the word lands in another router *input* FIFO (stays in
+        // the network) or leaves it ($cdni delivery / edge drop).
+        let mut stays_in_network = false;
         let ok = match out {
             Out::Deliver => self.routers[t].cdni.push(word, cycle),
             Out::Dir(d) => match self.dim.neighbor(tile, d) {
                 Some(n) => {
                     let in_port = d.opposite().index();
+                    stays_in_network = true;
                     self.routers[n.index()].inputs[in_port].push(word, cycle)
                 }
                 None => {
@@ -234,8 +253,38 @@ impl DynNet {
             let popped = self.routers[t].inputs[i].pop_visible(cycle, 0);
             debug_assert_eq!(popped, Some(word));
             self.words_moved += 1;
+            if !stays_in_network {
+                self.in_network -= 1;
+            }
         }
         ok
+    }
+
+    /// Earliest cycle `>= now` at which a currently queued word first
+    /// becomes visible to its consumer (router inputs at delay 0, `$cdni`
+    /// at the processor's `proc_delay`), or `None` when every queued word
+    /// is already visible — a stable configuration that only an external
+    /// action can change. Used by the machine's event-skip fast-forward.
+    pub fn next_visibility_event(&self, now: u64, proc_delay: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut consider = |v: u64| {
+            if v >= now && best.is_none_or(|b| v < b) {
+                best = Some(v);
+            }
+        };
+        for r in &self.routers {
+            if self.in_network > 0 {
+                for f in &r.inputs {
+                    if let Some(ts) = f.front_ts() {
+                        consider(ts + 1);
+                    }
+                }
+            }
+            if let Some(ts) = r.cdni.front_ts() {
+                consider(ts + proc_delay + 1);
+            }
+        }
+        best
     }
 
     /// Total words currently buffered anywhere in the network.

@@ -81,6 +81,15 @@ impl TsFifo {
         self.peek_visible(cycle, delay).is_some()
     }
 
+    /// Enqueue cycle of the front word, if any. The front word first
+    /// becomes visible to a consumer with `delay` extra pipeline stages on
+    /// cycle `front_ts() + delay + 1`; the machine's event-skip fast-forward
+    /// uses this to find the next cycle on which anything can change.
+    #[inline]
+    pub fn front_ts(&self) -> Option<u64> {
+        self.entries.front().map(|&(_, ts)| ts)
+    }
+
     /// Dequeue the front word if visible.
     #[inline]
     pub fn pop_visible(&mut self, cycle: u64, delay: u64) -> Option<u32> {

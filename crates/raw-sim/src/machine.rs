@@ -13,14 +13,12 @@
 //! cycle of decode delay — together these reproduce the 5-cycle
 //! tile-to-tile send of Figure 3-2.
 
-use std::collections::BTreeMap;
-
 use crate::cache::{CacheConfig, DCache, MissModel};
 use crate::device::{EdgeDevice, EdgePort};
 use crate::dynamic::DynNet;
 use crate::fifo::TsFifo;
 use crate::geom::{GridDim, TileId};
-use crate::program::{IdleProgram, TileIo, TileProgram};
+use crate::program::{mem_grow_target, IdleProgram, TileIo, TileProgram};
 use crate::switch::{Route, SwPort, SwitchCtrl, SwitchProgram, SwitchState, NUM_STATIC_NETS};
 use crate::trace::{Activity, TileStats, TraceWindow};
 
@@ -45,6 +43,13 @@ pub struct RawConfig {
     pub cdni_capacity: usize,
     /// Clock frequency used to convert cycles to seconds (Raw: 250 MHz).
     pub clock_mhz: u64,
+    /// When true (the default), `run` and `run_until_quiescent` may jump
+    /// over provably quiet stretches of cycles instead of stepping each
+    /// one (event-skip fast-forward). Results — statistics, traces, word
+    /// timing — are bit-identical to per-cycle stepping; set false to
+    /// force the per-cycle reference path (the determinism tests compare
+    /// the two).
+    pub fast_forward: bool,
 }
 
 impl Default for RawConfig {
@@ -62,6 +67,7 @@ impl Default for RawConfig {
             dyn_fifo_capacity: 4,
             cdni_capacity: 8,
             clock_mhz: 250,
+            fast_forward: true,
         }
     }
 }
@@ -71,6 +77,10 @@ struct Tile {
     switch_prog: [SwitchProgram; NUM_STATIC_NETS],
     switch_state: [SwitchState; NUM_STATIC_NETS],
     cache: DCache,
+    /// Local memory backing store, materialized lazily in chunks up to
+    /// `RawConfig::local_mem_words` as addresses are touched (a 4 MB
+    /// address space per tile would otherwise be zeroed eagerly on every
+    /// machine construction).
     mem: Vec<u32>,
     stall_until: u64,
     csti: [TsFifo; NUM_STATIC_NETS],
@@ -78,7 +88,6 @@ struct Tile {
     stats: TileStats,
     /// Cycles the switch spent with an instruction unable to complete.
     switch_stall_cycles: u64,
-    last_activity: Activity,
 }
 
 /// The simulated Raw chip.
@@ -92,9 +101,15 @@ pub struct RawMachine {
     link_in: Vec<[[TsFifo; 4]; NUM_STATIC_NETS]>,
     dyn_nets: Vec<DynNet>,
     devices: Vec<Box<dyn EdgeDevice>>,
-    device_index: BTreeMap<EdgePort, usize>,
+    /// Direct-indexed device lookup: `device_table[(tile * nets + net) * 4
+    /// + dir]` is the index into `devices`, or `NO_DEVICE`. Replaces a
+    /// `BTreeMap<EdgePort, usize>` that sat on the per-route hot path.
+    device_table: Vec<u16>,
     device_ports: Vec<EdgePort>,
     trace: Option<TraceWindow>,
+    /// The activity each tile recorded on the most recent cycle (the state
+    /// a skipped quiet cycle would repeat).
+    last_activity: Vec<Activity>,
     /// Cycle at which something last made forward progress.
     last_progress: u64,
     /// Words dropped at unbound edge output ports.
@@ -103,6 +118,9 @@ pub struct RawMachine {
     pub routes_fired: u64,
     dyn_moved_before: u64,
 }
+
+/// Sentinel for an unbound slot in `RawMachine::device_table`.
+const NO_DEVICE: u16 = u16::MAX;
 
 impl RawMachine {
     pub fn new(cfg: RawConfig) -> RawMachine {
@@ -113,13 +131,12 @@ impl RawMachine {
                 switch_prog: std::array::from_fn(|_| SwitchProgram::idle()),
                 switch_state: std::array::from_fn(|_| SwitchState::new()),
                 cache: DCache::new(cfg.cache, cfg.miss_model, cfg.dirty_evict_penalty),
-                mem: vec![0u32; cfg.local_mem_words],
+                mem: Vec::new(),
                 stall_until: 0,
                 csti: std::array::from_fn(|_| TsFifo::new(cfg.csti_capacity)),
                 csto: TsFifo::new(cfg.csto_capacity),
                 stats: TileStats::default(),
                 switch_stall_cycles: 0,
-                last_activity: Activity::Idle,
             })
             .collect();
         let link_in = (0..n)
@@ -139,9 +156,10 @@ impl RawMachine {
             link_in,
             dyn_nets,
             devices: Vec::new(),
-            device_index: BTreeMap::new(),
+            device_table: vec![NO_DEVICE; n * NUM_STATIC_NETS * 4],
             device_ports: Vec::new(),
             trace: None,
+            last_activity: vec![Activity::Idle; n],
             last_progress: 0,
             edge_drops: 0,
             routes_fired: 0,
@@ -191,6 +209,21 @@ impl RawMachine {
         t.switch_state[net] = SwitchState::new();
     }
 
+    /// Index into `device_table` for an edge port's coordinates.
+    #[inline]
+    fn port_slot(&self, tile: usize, net: usize, dir: usize) -> usize {
+        (tile * NUM_STATIC_NETS + net) * 4 + dir
+    }
+
+    /// The device bound at `(tile, net, dir)`, if any.
+    #[inline]
+    fn device_at(&self, tile: usize, net: usize, dir: usize) -> Option<usize> {
+        match self.device_table[self.port_slot(tile, net, dir)] {
+            NO_DEVICE => None,
+            i => Some(i as usize),
+        }
+    }
+
     /// Bind a device to an edge port. Panics if the port is interior or
     /// already bound.
     pub fn bind_device(&mut self, port: EdgePort, dev: Box<dyn EdgeDevice>) {
@@ -199,24 +232,26 @@ impl RawMachine {
             "{:?} is not an edge port",
             port
         );
+        let slot = self.port_slot(port.tile.index(), port.net, port.dir.index());
         assert!(
-            !self.device_index.contains_key(&port),
+            self.device_table[slot] == NO_DEVICE,
             "{:?} already has a device",
             port
         );
-        self.device_index.insert(port, self.devices.len());
+        assert!(self.devices.len() < NO_DEVICE as usize);
+        self.device_table[slot] = self.devices.len() as u16;
         self.device_ports.push(port);
         self.devices.push(dev);
     }
 
     /// Retrieve a bound device by concrete type.
     pub fn device_mut<T: 'static>(&mut self, port: EdgePort) -> Option<&mut T> {
-        let i = *self.device_index.get(&port)?;
+        let i = self.device_at(port.tile.index(), port.net, port.dir.index())?;
         self.devices[i].as_any_mut().downcast_mut::<T>()
     }
 
     pub fn device_ref<T: 'static>(&self, port: EdgePort) -> Option<&T> {
-        let i = *self.device_index.get(&port)?;
+        let i = self.device_at(port.tile.index(), port.net, port.dir.index())?;
         self.devices[i].as_any().downcast_ref::<T>()
     }
 
@@ -234,13 +269,38 @@ impl RawMachine {
     }
 
     /// The activity each tile recorded on the most recent cycle.
-    pub fn last_activities(&self) -> Vec<Activity> {
-        self.tiles.iter().map(|t| t.last_activity).collect()
+    pub fn last_activities(&self) -> &[Activity] {
+        &self.last_activity
     }
 
     /// Direct access to a tile's local memory for setup/inspection.
+    /// Materializes the tile's full backing store; for large setup writes
+    /// prefer [`RawMachine::write_tile_mem`], which only materializes the
+    /// chunks it touches.
     pub fn tile_mem_mut(&mut self, tile: TileId) -> &mut Vec<u32> {
-        &mut self.tiles[tile.index()].mem
+        let t = &mut self.tiles[tile.index()];
+        if t.mem.len() < self.cfg.local_mem_words {
+            t.mem.resize(self.cfg.local_mem_words, 0);
+        }
+        &mut t.mem
+    }
+
+    /// Write `words` into a tile's local memory starting at word address
+    /// `base`, growing the lazily-allocated backing store only as far as
+    /// the write reaches.
+    pub fn write_tile_mem(&mut self, tile: TileId, base: usize, words: &[u32]) {
+        let end = base + words.len();
+        assert!(
+            end <= self.cfg.local_mem_words,
+            "write [{base}, {end}) exceeds local memory ({} words)",
+            self.cfg.local_mem_words
+        );
+        let t = &mut self.tiles[tile.index()];
+        if t.mem.len() < end {
+            t.mem
+                .resize(mem_grow_target(end, self.cfg.local_mem_words), 0);
+        }
+        t.mem[base..end].copy_from_slice(words);
     }
 
     /// Diagnostic: occupancy of a static-network link input FIFO.
@@ -281,6 +341,17 @@ impl RawMachine {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        self.step_cycle();
+    }
+
+    /// Advance one cycle. Returns true when the cycle was *quiet*: nothing
+    /// made forward progress and no switch performed a control-only
+    /// transition (nop/`WaitPc` advance). After a quiet cycle the machine
+    /// is in a fixed point that only the passage of time can disturb —
+    /// FIFO entries aging into visibility, a cache stall expiring, a
+    /// device becoming ready — which is exactly the condition under which
+    /// `next_event_cycle` / `fast_forward_to` may skip ahead.
+    fn step_cycle(&mut self) -> bool {
         let cycle = self.cycle;
         let mut progress = false;
 
@@ -301,7 +372,8 @@ impl RawMachine {
         progress |= self.step_processors(cycle);
 
         // 3. Switch processors.
-        progress |= self.step_switches(cycle);
+        let (sw_progress, sw_ctrl) = self.step_switches(cycle);
+        progress |= sw_progress;
 
         // 4. Dynamic networks.
         for d in &mut self.dyn_nets {
@@ -317,6 +389,7 @@ impl RawMachine {
             self.last_progress = cycle;
         }
         self.cycle += 1;
+        !progress && !sw_ctrl
     }
 
     fn step_processors(&mut self, cycle: u64) -> bool {
@@ -340,6 +413,7 @@ impl RawMachine {
                         &mut tile.switch_state,
                         &mut tile.cache,
                         &mut tile.mem,
+                        self.cfg.local_mem_words,
                         &mut self.dyn_nets,
                         col_hops,
                         self.cfg.proc_recv_delay,
@@ -354,7 +428,7 @@ impl RawMachine {
                 activity
             };
             self.tiles[t].stats.record(activity);
-            self.tiles[t].last_activity = activity;
+            self.last_activity[t] = activity;
             if let Some(tr) = &mut self.trace {
                 tr.record(t, cycle, activity);
             }
@@ -363,83 +437,101 @@ impl RawMachine {
         progress
     }
 
-    fn step_switches(&mut self, cycle: u64) -> bool {
+    /// Returns `(progress, control_transition)`: whether any route fired,
+    /// and whether any switch advanced through a route-less instruction
+    /// (which changes switch state without counting as progress — a cycle
+    /// containing one must not be skipped over).
+    fn step_switches(&mut self, cycle: u64) -> (bool, bool) {
         let mut progress = false;
+        let mut ctrl = false;
         let n = self.tiles.len();
         for t in 0..n {
             for net in 0..NUM_STATIC_NETS {
-                progress |= self.step_switch(t, net, cycle);
+                let (p, c) = self.step_switch(t, net, cycle);
+                progress |= p;
+                ctrl |= c;
             }
         }
-        progress
+        (progress, ctrl)
     }
 
-    fn step_switch(&mut self, t: usize, net: usize, cycle: u64) -> bool {
-        let mut progress = false;
-        {
-            self.tiles[t].switch_state[net].apply_pending_pc(cycle);
-            if self.tiles[t].switch_state[net].halted {
-                return false;
-            }
-            let pc = self.tiles[t].switch_state[net].pc;
-            let Some(instr) = self.tiles[t].switch_prog[net].instrs.get(pc).cloned() else {
-                self.tiles[t].switch_state[net].halted = true;
-                return false;
-            };
-            // Fire route groups (routes sharing a (net, src) fire together,
-            // duplicating the word across destinations).
-            let mut fired = self.tiles[t].switch_state[net].fired;
-            let mut any_fired = false;
-            let mut gi = 0;
-            while gi < instr.routes.len() {
-                if fired & (1 << gi) != 0 {
-                    gi += 1;
-                    continue;
-                }
-                let lead = instr.routes[gi];
-                let group: Vec<usize> = (gi..instr.routes.len())
-                    .filter(|&j| {
-                        fired & (1 << j) == 0
-                            && instr.routes[j].net == lead.net
-                            && instr.routes[j].src == lead.src
-                    })
-                    .collect();
-                if self.group_ready(t, &instr.routes, &group, cycle) {
-                    self.fire_group(t, &instr.routes, &group, cycle);
-                    for &j in &group {
-                        fired |= 1 << j;
-                    }
-                    any_fired = true;
-                    progress = true;
-                }
+    /// Returns `(progress, control_transition)` for one switch.
+    fn step_switch(&mut self, t: usize, net: usize, cycle: u64) -> (bool, bool) {
+        self.tiles[t].switch_state[net].apply_pending_pc(cycle);
+        if self.tiles[t].switch_state[net].halted {
+            return (false, false);
+        }
+        let pc = self.tiles[t].switch_state[net].pc;
+        if pc >= self.tiles[t].switch_prog[net].instrs.len() {
+            self.tiles[t].switch_state[net].halted = true;
+            return (false, true);
+        }
+        // Borrow the program out of the tile for the duration of the tick
+        // so routes can be read in place — the old per-cycle
+        // `instrs.get(pc).cloned()` allocated a fresh route Vec for every
+        // switch every cycle.
+        let prog = std::mem::take(&mut self.tiles[t].switch_prog[net]);
+        let instr = &prog.instrs[pc];
+        let routes = instr.routes.as_slice();
+        let nroutes = routes.len();
+        debug_assert!(nroutes <= 32, "route set exceeds the fired bitmask");
+        let ctrl_op = instr.ctrl;
+        // Fire route groups (routes sharing a (net, src) fire together,
+        // duplicating the word across destinations). Groups are bitmasks
+        // over the instruction's route list, like `fired` itself.
+        let mut fired = self.tiles[t].switch_state[net].fired;
+        let mut any_fired = false;
+        let mut gi = 0;
+        while gi < nroutes {
+            if fired & (1 << gi) != 0 {
                 gi += 1;
+                continue;
             }
-            self.tiles[t].switch_state[net].fired = fired;
-            let complete = (0..instr.routes.len()).all(|j| fired & (1 << j) != 0);
-            if complete {
-                let prog_len = self.tiles[t].switch_prog[net].len();
-                let st = &mut self.tiles[t].switch_state[net];
-                st.fired = 0;
-                match instr.ctrl {
-                    SwitchCtrl::Next => {
-                        st.pc += 1;
-                        if st.pc >= prog_len {
-                            st.halted = true;
-                        }
-                    }
-                    SwitchCtrl::Jump(pc) => st.pc = pc,
-                    SwitchCtrl::WaitPc => st.halted = true,
+            let lead = routes[gi];
+            let mut group: u32 = 0;
+            for (j, r) in routes.iter().enumerate().skip(gi) {
+                if fired & (1 << j) == 0 && r.net == lead.net && r.src == lead.src {
+                    group |= 1 << j;
                 }
-            } else if !any_fired {
-                self.tiles[t].switch_stall_cycles += 1;
             }
+            if self.group_ready(t, routes, group, cycle) {
+                self.fire_group(t, routes, group, cycle);
+                fired |= group;
+                any_fired = true;
+            }
+            gi += 1;
         }
-        progress
+        self.tiles[t].switch_prog[net] = prog;
+        self.tiles[t].switch_state[net].fired = fired;
+        let complete = fired == ((1u64 << nroutes) - 1) as u32;
+        let mut ctrl_transition = false;
+        if complete {
+            let prog_len = self.tiles[t].switch_prog[net].len();
+            let st = &mut self.tiles[t].switch_state[net];
+            st.fired = 0;
+            match ctrl_op {
+                SwitchCtrl::Next => {
+                    st.pc += 1;
+                    if st.pc >= prog_len {
+                        st.halted = true;
+                    }
+                }
+                SwitchCtrl::Jump(pc) => st.pc = pc,
+                SwitchCtrl::WaitPc => st.halted = true,
+            }
+            // A route-less instruction (nop / WaitPc) completing is a pure
+            // control transition: switch state changed with no progress.
+            ctrl_transition = !any_fired;
+        } else if !any_fired {
+            self.tiles[t].switch_stall_cycles += 1;
+        }
+        (any_fired, ctrl_transition)
     }
 
-    /// Can the route group (all sharing `(net, src)`) fire this cycle?
-    fn group_ready(&self, t: usize, routes: &[Route], group: &[usize], cycle: u64) -> bool {
-        let lead = routes[group[0]];
+    /// Can the route group (a bitmask over `routes`, all sharing
+    /// `(net, src)`) fire this cycle?
+    fn group_ready(&self, t: usize, routes: &[Route], group: u32, cycle: u64) -> bool {
+        let lead = routes[group.trailing_zeros() as usize];
         let src_ok = match lead.src {
             SwPort::Proc => self.tiles[t].csto.has_visible(cycle, 0),
             p => {
@@ -450,9 +542,12 @@ impl RawMachine {
         if !src_ok {
             return false;
         }
-        group.iter().all(|&j| {
+        let mut bits = group;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let r = routes[j];
-            match r.dst {
+            let dst_ok = match r.dst {
                 SwPort::Proc => self.tiles[t].csti[r.net].has_space(),
                 p => {
                     let d = p.dir().unwrap();
@@ -460,21 +555,22 @@ impl RawMachine {
                         Some(nb) => {
                             self.link_in[nb.index()][r.net][d.opposite().index()].has_space()
                         }
-                        None => {
-                            let port = EdgePort::new(TileId(t as u16), d, r.net);
-                            match self.device_index.get(&port) {
-                                Some(&i) => self.devices[i].can_push(cycle),
-                                None => true, // unbound edge: words drop
-                            }
-                        }
+                        None => match self.device_at(t, r.net, d.index()) {
+                            Some(i) => self.devices[i].can_push(cycle),
+                            None => true, // unbound edge: words drop
+                        },
                     }
                 }
+            };
+            if !dst_ok {
+                return false;
             }
-        })
+        }
+        true
     }
 
-    fn fire_group(&mut self, t: usize, routes: &[Route], group: &[usize], cycle: u64) {
-        let lead = routes[group[0]];
+    fn fire_group(&mut self, t: usize, routes: &[Route], group: u32, cycle: u64) {
+        let lead = routes[group.trailing_zeros() as usize];
         let word = match lead.src {
             SwPort::Proc => self.tiles[t].csto.pop_visible(cycle, 0).unwrap(),
             p => {
@@ -484,7 +580,10 @@ impl RawMachine {
                     .unwrap()
             }
         };
-        for &j in group {
+        let mut bits = group;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let r = routes[j];
             match r.dst {
                 SwPort::Proc => {
@@ -499,13 +598,10 @@ impl RawMachine {
                                 .push(word, cycle);
                             debug_assert!(ok);
                         }
-                        None => {
-                            let port = EdgePort::new(TileId(t as u16), d, r.net);
-                            match self.device_index.get(&port) {
-                                Some(&i) => self.devices[i].push_out(word, cycle),
-                                None => self.edge_drops += 1,
-                            }
-                        }
+                        None => match self.device_at(t, r.net, d.index()) {
+                            Some(i) => self.devices[i].push_out(word, cycle),
+                            None => self.edge_drops += 1,
+                        },
                     }
                 }
             }
@@ -513,10 +609,149 @@ impl RawMachine {
         }
     }
 
-    /// Run exactly `n` cycles.
+    /// The earliest cycle `>= self.cycle` on which any component might do
+    /// something it could not do on the cycle just stepped, or `None` if
+    /// no such cycle exists (a true deadlock / fully drained machine).
+    ///
+    /// Only meaningful immediately after a *quiet* cycle (see
+    /// `step_cycle`): in that state every enabled transition has already
+    /// been tried and refused, every refusal depends only on FIFO
+    /// visibility ages, cache-stall deadlines, and device readiness — all
+    /// pure functions of time — and FIFO *space* cannot change without
+    /// some transition firing first. The minimum over every such time
+    /// threshold is therefore a sound skip target: every cycle strictly
+    /// before it would replay the quiet cycle exactly.
+    fn next_event_cycle(&self) -> Option<u64> {
+        let now = self.cycle;
+        let mut best = u64::MAX;
+        // Returns true when the event is this very cycle: `now` cannot be
+        // beaten, so the caller stops scanning immediately (the common
+        // case on a busy machine, where a just-enqueued word becomes
+        // visible next cycle). Candidates in the past are stale — an
+        // unconsumed word whose visibility came and went — and waiting on
+        // them changes nothing, so they are ignored.
+        let mut consider = |v: u64| -> bool {
+            if v == now {
+                return true;
+            }
+            if v > now && v < best {
+                best = v;
+            }
+            false
+        };
+        let prd = self.cfg.proc_recv_delay;
+        for (t, tile) in self.tiles.iter().enumerate() {
+            for net in 0..NUM_STATIC_NETS {
+                let st = &tile.switch_state[net];
+                // A pending PC load applies (to a halted switch) on a later
+                // cycle without any progress marker; never skip past one.
+                if st.pending_pc.is_some() {
+                    return Some(now);
+                }
+                // Defense in depth: a non-halted switch sitting at a
+                // route-less instruction advances every cycle. After a
+                // quiet cycle this cannot happen (the advance is a control
+                // transition, which vetoes quietness), but refuse to skip
+                // if it somehow does.
+                if !st.halted {
+                    if let Some(instr) = tile.switch_prog[net].instrs.get(st.pc) {
+                        if instr.routes.is_empty() {
+                            return Some(now);
+                        }
+                    }
+                }
+                if let Some(ts) = tile.csti[net].front_ts() {
+                    if consider(ts + prd + 1) {
+                        return Some(now);
+                    }
+                }
+                for d in 0..4 {
+                    if let Some(ts) = self.link_in[t][net][d].front_ts() {
+                        if consider(ts + 1) {
+                            return Some(now);
+                        }
+                    }
+                }
+            }
+            if tile.stall_until >= now && consider(tile.stall_until) {
+                return Some(now);
+            }
+            if let Some(ts) = tile.csto.front_ts() {
+                if consider(ts + 1) {
+                    return Some(now);
+                }
+            }
+        }
+        for d in &self.dyn_nets {
+            if let Some(v) = d.next_visibility_event(now, prd) {
+                if consider(v) {
+                    return Some(now);
+                }
+            }
+        }
+        for (i, dev) in self.devices.iter().enumerate() {
+            let port = self.device_ports[i];
+            // Injection only matters while the edge FIFO has space; space
+            // cannot appear without routing progress, which is itself an
+            // event.
+            if self.link_in[port.tile.index()][port.net][port.dir.index()].has_space() {
+                if let Some(v) = dev.next_inject_event(now) {
+                    if consider(v.max(now)) {
+                        return Some(now);
+                    }
+                }
+            }
+            if let Some(v) = dev.next_accept_event(now) {
+                if consider(v.max(now)) {
+                    return Some(now);
+                }
+            }
+        }
+        if best == u64::MAX {
+            None
+        } else {
+            Some(best)
+        }
+    }
+
+    /// Jump straight from `self.cycle` to `target`, crediting the skipped
+    /// cycles in bulk: each tile repeats its last recorded activity (into
+    /// stats and the trace window), and every non-halted switch accrues
+    /// stall cycles — exactly what per-cycle stepping would have recorded,
+    /// since a skipped cycle by construction repeats the previous one.
+    /// `last_progress` is untouched: skipped cycles made no progress.
+    fn fast_forward_to(&mut self, target: u64) {
+        let span = target.saturating_sub(self.cycle);
+        if span == 0 {
+            return;
+        }
+        let from = self.cycle;
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
+            let a = self.last_activity[t];
+            tile.stats.counts[a.index()] += span;
+            for st in &tile.switch_state {
+                if !st.halted {
+                    tile.switch_stall_cycles += span;
+                }
+            }
+            if let Some(tr) = &mut self.trace {
+                tr.record_span(t, from, span, a);
+            }
+        }
+        self.cycle = target;
+    }
+
+    /// Run exactly `n` cycles. With `RawConfig::fast_forward` set (the
+    /// default), quiet stretches are skipped in bulk; the observable end
+    /// state is identical to stepping each cycle.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let deadline = self.cycle + n;
+        while self.cycle < deadline {
+            let quiet = self.step_cycle();
+            if quiet && self.cfg.fast_forward {
+                let target = self.next_event_cycle().unwrap_or(deadline).min(deadline);
+                self.fast_forward_to(target);
+            }
         }
     }
 
@@ -544,13 +779,20 @@ impl RawMachine {
     pub fn run_until_quiescent(&mut self, window: u64, max_cycles: u64) -> QuiescenceReport {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline && self.idle_cycles() < window {
-            self.step();
+            let quiet = self.step_cycle();
+            if quiet && self.cfg.fast_forward {
+                // Stop exactly where per-cycle stepping would declare
+                // quiescence, so the reported cycle matches.
+                let cap = (self.last_progress + window).min(deadline);
+                let target = self.next_event_cycle().unwrap_or(cap).min(cap);
+                self.fast_forward_to(target);
+            }
         }
         let blocked_tiles: Vec<TileId> = self
-            .tiles
+            .last_activity
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.last_activity.is_blocked())
+            .filter(|(_, a)| a.is_blocked())
             .map(|(i, _)| TileId(i as u16))
             .collect();
         QuiescenceReport {

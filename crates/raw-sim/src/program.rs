@@ -30,6 +30,19 @@ use crate::geom::TileId;
 use crate::switch::{NetId, SwitchState, NUM_STATIC_NETS};
 use crate::trace::Activity;
 
+/// Tile local memory is materialized on demand in chunks of this many
+/// words (64 KB), so the default 4 MB per-tile address space costs nothing
+/// until a program actually touches it.
+pub(crate) const MEM_CHUNK_WORDS: usize = 1 << 14;
+
+/// Backing-store length to allocate so that word `needed - 1` exists:
+/// `needed` rounded up to a chunk boundary, capped at the configured
+/// per-tile memory size.
+pub(crate) fn mem_grow_target(needed: usize, limit: usize) -> usize {
+    debug_assert!(needed <= limit);
+    (needed.div_ceil(MEM_CHUNK_WORDS) * MEM_CHUNK_WORDS).min(limit)
+}
+
 /// A program running on one tile processor.
 pub trait TileProgram: Send {
     /// Execute one cycle. Perform at most one retiring action on `io`.
@@ -63,6 +76,9 @@ pub struct TileIo<'a> {
     pub(crate) switch: &'a mut [SwitchState; NUM_STATIC_NETS],
     pub(crate) cache: &'a mut DCache,
     pub(crate) mem: &'a mut Vec<u32>,
+    /// Architectural size of local memory in words; `mem` lazily grows in
+    /// chunks up to this bound as addresses are touched.
+    pub(crate) mem_limit: usize,
     pub(crate) dyn_nets: &'a mut [DynNet],
     /// Column hops to the nearest east/west DRAM port, for the
     /// distance-based miss model.
@@ -83,6 +99,7 @@ impl<'a> TileIo<'a> {
         switch: &'a mut [SwitchState; NUM_STATIC_NETS],
         cache: &'a mut DCache,
         mem: &'a mut Vec<u32>,
+        mem_limit: usize,
         dyn_nets: &'a mut [DynNet],
         col_hops: u32,
         proc_recv_delay: u64,
@@ -96,6 +113,7 @@ impl<'a> TileIo<'a> {
             switch,
             cache,
             mem,
+            mem_limit,
             dyn_nets,
             col_hops,
             proc_recv_delay,
@@ -195,12 +213,16 @@ impl<'a> TileIo<'a> {
     fn mem_slot(&mut self, word_addr: u32) -> &mut u32 {
         let i = word_addr as usize;
         assert!(
-            i < self.mem.len(),
+            i < self.mem_limit,
             "tile {} accessed word address {:#x} beyond local memory ({} words)",
             self.tile,
             word_addr,
-            self.mem.len()
+            self.mem_limit
         );
+        if i >= self.mem.len() {
+            let target = mem_grow_target(i + 1, self.mem_limit);
+            self.mem.resize(target, 0);
+        }
         &mut self.mem[i]
     }
 
@@ -352,7 +374,11 @@ impl<'a> TileIo<'a> {
 
     /// Direct, un-timed access to local memory for test setup and result
     /// inspection (does not retire and does not touch the cache model).
+    /// Materializes the tile's full backing store.
     pub fn mem_raw(&mut self) -> &mut Vec<u32> {
+        if self.mem.len() < self.mem_limit {
+            self.mem.resize(self.mem_limit, 0);
+        }
         self.mem
     }
 

@@ -128,6 +128,26 @@ impl TraceWindow {
         }
     }
 
+    /// Record `len` consecutive cycles of the same activity for `tile`,
+    /// starting at `from_cycle` — the bulk equivalent of calling
+    /// [`TraceWindow::record`] once per cycle. The machine's event-skip
+    /// fast-forward uses this to credit skipped cycles without visiting
+    /// each one; the dense-recording invariant is preserved.
+    pub fn record_span(&mut self, tile: usize, from_cycle: u64, len: u64, a: Activity) {
+        let lo = from_cycle.max(self.start_cycle);
+        let hi = (from_cycle + len).min(self.start_cycle + self.len as u64);
+        if lo >= hi {
+            return;
+        }
+        debug_assert_eq!(
+            self.samples[tile].len() as u64,
+            lo - self.start_cycle,
+            "trace samples must be recorded densely"
+        );
+        let cur = self.samples[tile].len();
+        self.samples[tile].resize(cur + (hi - lo) as usize, a);
+    }
+
     pub fn is_complete(&self) -> bool {
         self.samples.iter().all(|s| s.len() == self.len)
     }

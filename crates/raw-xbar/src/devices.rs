@@ -22,7 +22,15 @@ pub const WIRE_IDLE: u32 = 0xFFFF_FFFE;
 
 /// Input line card. Packets become available at their release cycle and
 /// are streamed in order, one word per cycle, as the chip accepts them;
-/// between packets the line carries [`WIRE_IDLE`] words.
+/// between packets — and after the last offered packet — the line carries
+/// [`WIRE_IDLE`] words, like a synchronous link's idle frames. The line
+/// never goes silent: the ingress bid/grant protocol relies on ingest
+/// routines completing promptly, so an injectable word must exist every
+/// cycle. (This is also why the default conservative
+/// `EdgeDevice::next_inject_event` — "this cycle" — is exact here, and
+/// why the event-skip fast-forward correctly never engages while a line
+/// card is attached: the modeled hardware really does have a state
+/// transition every cycle.)
 pub struct LineCardIn {
     queue: VecDeque<(u64, Vec<u32>)>,
     cur: Option<(Vec<u32>, usize)>,
@@ -82,6 +90,13 @@ impl EdgeDevice for LineCardIn {
         }
         self.words_offered += 1;
         Some(w)
+    }
+
+    // `next_inject_event` keeps its conservative default (`Some(now)`):
+    // the line offers a word — real or idle — every single cycle.
+
+    fn next_accept_event(&self, _now: u64) -> Option<u64> {
+        None // can_push is constantly true (default impl)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -219,6 +234,14 @@ impl EdgeDevice for LineCardOut {
         }
     }
 
+    fn next_inject_event(&self, _now: u64) -> Option<u64> {
+        None // never sources words
+    }
+
+    fn next_accept_event(&self, _now: u64) -> Option<u64> {
+        None // can_push is constantly true
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -249,6 +272,24 @@ mod tests {
         assert_eq!(got, p.to_words());
         assert_eq!(lc.backlog(), 0);
         assert!(lc.idle_words >= 1);
+    }
+
+    #[test]
+    fn line_card_in_always_carries_words() {
+        // The bid/grant protocol depends on the line never going silent:
+        // an exhausted card still emits idle frames, and its inject event
+        // is always "this cycle".
+        let mut lc = LineCardIn::new();
+        assert_eq!(lc.pull_in(0), Some(WIRE_IDLE), "idles before any offer");
+        assert_eq!(lc.next_inject_event(7), Some(7));
+        let p = Packet::synthetic(1, 2, 64, 64, 0);
+        lc.offer(10, &p);
+        for c in 0..p.to_words().len() as u64 {
+            assert!(lc.pull_in(10 + c).is_some());
+        }
+        assert_eq!(lc.backlog(), 0);
+        assert_eq!(lc.pull_in(60), Some(WIRE_IDLE), "idles after exhaustion");
+        assert_eq!(lc.next_inject_event(60), Some(60));
     }
 
     #[test]

@@ -186,8 +186,7 @@ impl RawRouter {
                 // The §6.5 path: generated Raw assembly with a
                 // PC-carrying jump table, interpreted cycle-accurately.
                 let image = crate::asm_xbar::table_image_pc(&cs, i, &xb_code);
-                let mem = machine.tile_mem_mut(p.crossbar);
-                mem[..image.len()].copy_from_slice(&image);
+                machine.write_tile_mem(p.crossbar, 0, &image);
                 let core = crate::asm_xbar::gen_crossbar_asm(i, xb_code.hdr_pc);
                 let (core, watch) = core.watched();
                 asm_watches.push(watch);
@@ -200,9 +199,7 @@ impl RawRouter {
                 xb_stats.push(xbs);
             } else {
                 let image = CrossbarProgram::table_image(&cs, i);
-                let mem = machine.tile_mem_mut(p.crossbar);
-                mem[XBAR_TABLE_BASE as usize..XBAR_TABLE_BASE as usize + image.len()]
-                    .copy_from_slice(&image);
+                machine.write_tile_mem(p.crossbar, XBAR_TABLE_BASE as usize, &image);
                 let (mut xb, xbs) = CrossbarProgram::new(
                     port,
                     &xb_code,

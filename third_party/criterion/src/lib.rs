@@ -1,0 +1,163 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Benchmarks compile and run with the same source as upstream criterion;
+//! measurement here is a plain wall-clock loop (one warmup iteration, then
+//! `sample_size` timed iterations) printing mean and min per iteration.
+//! No statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id, 20, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters: sample_size as u64,
+    };
+    f(&mut b);
+    let n = b.samples.len().max(1) as u32;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {id}: mean {mean:?}, min {min:?} per iter ({} iters)",
+        b.samples.len()
+    );
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after a single untimed warmup call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Like `iter`, with a fresh untimed `setup` product per timed call.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| 2 + 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 8],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_trivial);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` on top of `std::thread::scope`. The spawned
+//! closure receives a placeholder `()` argument instead of a nested scope
+//! reference (every call site in this workspace ignores the argument).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::ScopedJoinHandle;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Run `f` with a scope handle; all threads spawned through the handle are
+/// joined before this returns. A panic on any spawned thread surfaces as
+/// `Err`, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_joins() {
+        let mut out = vec![0u32; 4];
+        super::scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .expect("threads");
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! Wraps `std::sync::Mutex` so that `lock()` returns the guard directly
+//! (parking_lot mutexes do not poison). Only the surface this workspace
+//! uses is provided.
+
+use std::sync::MutexGuard;
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock. Unlike `std`, a panic in another thread while
+    /// holding the lock does not poison it.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(3usize);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 4);
+    }
+}

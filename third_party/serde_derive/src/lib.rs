@@ -1,0 +1,142 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the one
+//! shape this workspace uses: non-generic structs with named fields. The
+//! input token stream is parsed structurally with the `proc_macro` API (no
+//! syn/quote), tracking angle-bracket depth so generic types containing
+//! commas split correctly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Struct {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (doc comments arrive as #[doc = ...]).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            // `pub`, `pub(crate)`, etc. fall through.
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: only structs are supported");
+
+    // Find the brace-delimited field block (skipping any generics would go
+    // here, but the workspace derives on non-generic structs only).
+    let body = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("serde shim derive: {name} must have named fields"));
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match toks.next() {
+                None => break None,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next(); // pub(crate) / pub(super)
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => {
+                    panic!("serde shim derive: unexpected token {other} in {name}")
+                }
+            }
+        };
+        let Some(field) = field else { break };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after {name}.{field}, got {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        for tt in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Struct { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let pushes: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__fields.push((\"{f}\".to_string(), \
+                 ::serde::Serialize::to_value(&self.{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields = ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}",
+        name = s.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let inits: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     __v.get(\"{f}\")\
+                        .ok_or_else(|| format!(\"missing field `{f}`\"))?,\
+                 )?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = s.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}
