@@ -407,6 +407,54 @@ fn run_simspeed() {
     write_json(&results_dir(), "simspeed", &rep).unwrap();
 }
 
+fn run_verify() {
+    println!("== static verification: conflict / lockstep / deadlock / jump-table ==");
+    let report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
+    let rows: Vec<Vec<String>> = report
+        .analyses
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.to_string(),
+                a.code_prefix.to_string(),
+                if a.pass { "pass" } else { "FAIL" }.into(),
+                a.checked.to_string(),
+                a.detail.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["analysis", "codes", "verdict", "checked", "detail"],
+            &rows
+        )
+    );
+    let cov = &report.coverage;
+    println!(
+        "coverage: {}/{} unicast and {}/{} multicast global indices, {} body routines, \
+         {} lockstep scenarios (max FIFO high-water {} of 4), {} policies",
+        cov.unicast_points,
+        cov.unicast_space,
+        cov.multicast_points,
+        cov.multicast_space,
+        cov.body_routines,
+        cov.lockstep_scenarios,
+        cov.max_fifo_high_water,
+        cov.policies
+    );
+    for d in &report.diagnostics {
+        println!("  {d}");
+    }
+    write_json(&results_dir(), "verify", &report).unwrap();
+    assert!(
+        report.pass,
+        "static verification failed with {} diagnostic(s)",
+        report.diagnostics.len()
+    );
+    println!("all generated switch schedules verify");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -437,12 +485,13 @@ fn main() {
     run("asm-crossbar", &run_asm);
     run("latency", &run_latency);
     run("simspeed", &run_simspeed);
+    run("verify", &run_verify);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
              multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
-             simspeed"
+             simspeed verify"
         );
         std::process::exit(2);
     }

@@ -321,6 +321,16 @@ impl Instr {
             Instr::SwPcR { rs, .. } if rs.is_network() => {
                 Err("swpcr source cannot be a network register".into())
             }
+            // A variable shift amount feeds the shifter's control input in
+            // decode, before a blocking queue read could resolve — the
+            // amount must come from a general register.
+            Instr::Alu {
+                op: AluOp::Sllv | AluOp::Srlv | AluOp::Srav,
+                rt,
+                ..
+            } if rt.is_net_input() => {
+                Err("shift amount cannot come from a network input register".into())
+            }
             Instr::Ext { pos, size, .. } if pos >= 32 || size == 0 || size > 32 => {
                 Err("ext bit-field out of range".into())
             }
@@ -428,6 +438,97 @@ mod tests {
         }
         .validate()
         .is_ok());
+    }
+
+    /// One case per rejection arm of `Instr::validate`, each asserting on
+    /// the arm's distinctive message so a regrouped match can't silently
+    /// drop a check.
+    #[test]
+    fn validation_covers_every_rejection_arm() {
+        let err = |i: Instr| i.validate().unwrap_err();
+        // Write-only register as a source.
+        assert!(err(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: CDNO,
+            rt: Reg(2)
+        })
+        .contains("write-only"));
+        // Same queue read twice in one instruction.
+        assert!(err(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: CSTI2,
+            rt: CSTI2
+        })
+        .contains("read twice"));
+        // Read-only register as a destination.
+        assert!(err(Instr::AluImm {
+            op: AluImmOp::Addi,
+            rt: CDNI,
+            rs: Reg(1),
+            imm: 0
+        })
+        .contains("read-only"));
+        // Memory base from a network register.
+        assert!(err(Instr::Lw {
+            rt: Reg(1),
+            base: CSTI,
+            off: 0
+        })
+        .contains("memory base"));
+        assert!(err(Instr::Sw {
+            rt: Reg(1),
+            base: CSTI,
+            off: 0
+        })
+        .contains("memory base"));
+        // Store data straight from a queue (2-cycle buffering rule).
+        assert!(err(Instr::Sw {
+            rt: CSTI,
+            base: Reg(2),
+            off: 0
+        })
+        .contains("sw source"));
+        // Branch on queue operands.
+        assert!(err(Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: CSTI,
+            rt: Reg(1),
+            target: 0
+        })
+        .contains("branch operands"));
+        // Indirect jump through a queue.
+        assert!(err(Instr::Jr { rs: CSTI }).contains("jr target"));
+        // Switch-PC load from a queue.
+        assert!(err(Instr::SwPcR { net: 0, rs: CSTI }).contains("swpcr source"));
+        // Variable shift amount from a queue.
+        for op in [AluOp::Sllv, AluOp::Srlv, AluOp::Srav] {
+            assert!(err(Instr::Alu {
+                op,
+                rd: Reg(1),
+                rs: Reg(2),
+                rt: CSTI
+            })
+            .contains("shift amount"));
+        }
+        // Queue as the shifted *value* stays legal (one pop, data path).
+        assert!(Instr::Alu {
+            op: AluOp::Sllv,
+            rd: Reg(1),
+            rs: CSTI,
+            rt: Reg(2)
+        }
+        .validate()
+        .is_ok());
+        // Bit-field extraction out of range.
+        assert!(err(Instr::Ext {
+            rd: Reg(1),
+            rs: Reg(2),
+            pos: 32,
+            size: 1
+        })
+        .contains("bit-field"));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use geom::{Dir, GridDim, TileId};
 pub use machine::{QuiescenceReport, RawConfig, RawMachine};
 pub use program::{IdleProgram, TileIo, TileProgram};
 pub use switch::{
-    NetId, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram, SwitchState, NET0, NET1,
-    NUM_STATIC_NETS, SWITCH_IMEM_INSTRS,
+    NetId, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram, SwitchState,
+    MAX_ROUTES_PER_INSTR, NET0, NET1, NUM_STATIC_NETS, SWITCH_IMEM_INSTRS,
 };
 pub use trace::{Activity, TileStats, TraceWindow};

@@ -303,6 +303,20 @@ impl RawMachine {
         t.mem[base..end].copy_from_slice(words);
     }
 
+    /// Read-only introspection: the switch program installed for `net` at
+    /// `tile`. Lets static analyses (the `raw-verify` crate) audit exactly
+    /// what a constructed machine will execute, without re-deriving it
+    /// from the codegen inputs.
+    pub fn switch_program(&self, tile: TileId, net: usize) -> &SwitchProgram {
+        &self.tiles[tile.index()].switch_prog[net]
+    }
+
+    /// Read-only introspection: every edge port with a bound device — the
+    /// set of off-grid links a schedule may legitimately route through.
+    pub fn bound_device_ports(&self) -> &[EdgePort] {
+        &self.device_ports
+    }
+
     /// Diagnostic: occupancy of a static-network link input FIFO.
     pub fn link_occupancy(&self, tile: TileId, net: usize, dir: crate::geom::Dir) -> usize {
         self.link_in[tile.index()][net][dir.index()].len()

@@ -119,22 +119,38 @@ pub struct SwitchInstr {
 
 impl SwitchInstr {
     pub fn new(routes: Vec<Route>, ctrl: SwitchCtrl) -> SwitchInstr {
-        if ctrl == SwitchCtrl::WaitPc {
-            assert!(routes.is_empty(), "WaitPc instructions carry no routes");
+        match SwitchInstr::try_new(routes, ctrl) {
+            Ok(i) => i,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating constructor: the same checks as [`SwitchInstr::new`],
+    /// reported as an error instead of a panic so codegen paths can
+    /// surface malformed schedules at construction time.
+    pub fn try_new(routes: Vec<Route>, ctrl: SwitchCtrl) -> Result<SwitchInstr, String> {
+        if ctrl == SwitchCtrl::WaitPc && !routes.is_empty() {
+            return Err("WaitPc instructions carry no routes".into());
+        }
+        if routes.len() > MAX_ROUTES_PER_INSTR {
+            return Err(format!(
+                "{} routes exceed the crossbar's {MAX_ROUTES_PER_INSTR}-route instruction limit",
+                routes.len()
+            ));
         }
         // A destination may be driven by only one source per network in a
         // single instruction (a crossbar output has one input selected).
         for (i, a) in routes.iter().enumerate() {
             for b in &routes[i + 1..] {
-                assert!(
-                    !(a.net == b.net && a.dst == b.dst),
-                    "two routes drive {:?} on net {} in one instruction",
-                    a.dst,
-                    a.net
-                );
+                if a.net == b.net && a.dst == b.dst {
+                    return Err(format!(
+                        "two routes drive {:?} on net {} in one instruction",
+                        a.dst, a.net
+                    ));
+                }
             }
         }
-        SwitchInstr { routes, ctrl }
+        Ok(SwitchInstr { routes, ctrl })
     }
 
     /// Convenience: an instruction that only waits for a new PC.
@@ -162,6 +178,10 @@ pub struct SwitchProgram {
 /// word) switch memory.
 pub const SWITCH_IMEM_INSTRS: usize = 8192;
 
+/// Most routes one switch instruction can name (the machine tracks route
+/// completion in a 32-bit `fired` mask).
+pub const MAX_ROUTES_PER_INSTR: usize = 32;
+
 impl SwitchProgram {
     pub fn new(instrs: Vec<SwitchInstr>) -> SwitchProgram {
         SwitchProgram { instrs }
@@ -183,6 +203,34 @@ impl SwitchProgram {
     /// True if the program fits the prototype's switch instruction memory.
     pub fn fits_switch_imem(&self) -> bool {
         self.instrs.len() <= SWITCH_IMEM_INSTRS
+    }
+
+    /// Re-check every construction invariant of the whole program (the
+    /// fields are public, so code that assembles instructions directly can
+    /// bypass [`SwitchInstr::new`]): per-instruction route conflicts and
+    /// `WaitPc` purity, control-flow targets in bounds, and the
+    /// instruction-memory limit. Used by codegen boundaries and the
+    /// `raw-verify` static analyses.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.fits_switch_imem() {
+            return Err(format!(
+                "program of {} instructions exceeds the {SWITCH_IMEM_INSTRS}-instruction \
+                 switch memory",
+                self.instrs.len()
+            ));
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            SwitchInstr::try_new(i.routes.clone(), i.ctrl).map_err(|e| format!("pc {pc}: {e}"))?;
+            if let SwitchCtrl::Jump(target) = i.ctrl {
+                if target >= self.instrs.len() {
+                    return Err(format!(
+                        "pc {pc}: jump target {target} outside the {}-instruction program",
+                        self.instrs.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -307,5 +355,62 @@ mod tests {
         assert!(p.fits_switch_imem());
         let p = SwitchProgram::new(vec![SwitchInstr::nop(); SWITCH_IMEM_INSTRS + 1]);
         assert!(!p.fits_switch_imem());
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let e = SwitchInstr::try_new(
+            vec![
+                Route::new(NET0, SwPort::N, SwPort::Proc),
+                Route::new(NET0, SwPort::W, SwPort::Proc),
+            ],
+            SwitchCtrl::Next,
+        )
+        .unwrap_err();
+        assert!(e.contains("two routes drive"), "{e}");
+        let e = SwitchInstr::try_new(
+            vec![Route::new(NET0, SwPort::N, SwPort::Proc)],
+            SwitchCtrl::WaitPc,
+        )
+        .unwrap_err();
+        assert!(e.contains("WaitPc"), "{e}");
+        assert!(SwitchInstr::try_new(
+            vec![Route::new(NET0, SwPort::W, SwPort::E)],
+            SwitchCtrl::Next
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn program_validate_catches_bypassed_invariants() {
+        // A well-formed program passes.
+        let good = SwitchProgram::new(vec![
+            SwitchInstr::new(
+                vec![Route::new(NET0, SwPort::W, SwPort::E)],
+                SwitchCtrl::Next,
+            ),
+            SwitchInstr::wait_pc(),
+        ]);
+        assert!(good.validate().is_ok());
+
+        // Constructor-bypassing mutants (public fields) are caught.
+        let mut bad = good.clone();
+        bad.instrs[1]
+            .routes
+            .push(Route::new(NET0, SwPort::W, SwPort::E));
+        assert!(bad.validate().unwrap_err().contains("WaitPc"));
+
+        let mut bad = good.clone();
+        bad.instrs[0]
+            .routes
+            .push(Route::new(NET0, SwPort::N, SwPort::E));
+        assert!(bad.validate().unwrap_err().contains("two routes drive"));
+
+        let mut bad = good.clone();
+        bad.instrs[0].ctrl = SwitchCtrl::Jump(99);
+        assert!(bad.validate().unwrap_err().contains("jump target"));
+
+        let bad = SwitchProgram::new(vec![SwitchInstr::nop(); SWITCH_IMEM_INSTRS + 1]);
+        assert!(bad.validate().unwrap_err().contains("switch memory"));
     }
 }

@@ -115,17 +115,34 @@ pub struct RawRouter {
 
 impl RawRouter {
     pub fn new(cfg: RouterConfig, table: Arc<ForwardingTable>) -> RawRouter {
-        assert!(
-            (1..=raw_net::MAX_FRAG_WORDS).contains(&cfg.quantum_words),
-            "quantum must fit the fragment tag's word-count field"
-        );
+        match RawRouter::try_new(cfg, table) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build the router, validating the configuration and every generated
+    /// switch program ([`raw_sim::SwitchProgram::validate`]) at the
+    /// codegen boundary instead of relying on downstream assertions.
+    pub fn try_new(cfg: RouterConfig, table: Arc<ForwardingTable>) -> Result<RawRouter, String> {
+        if !(1..=raw_net::MAX_FRAG_WORDS).contains(&cfg.quantum_words) {
+            return Err(format!(
+                "quantum of {} words must fit the fragment tag's word-count field (1..={})",
+                cfg.quantum_words,
+                raw_net::MAX_FRAG_WORDS
+            ));
+        }
+        if cfg.quantum_words <= raw_net::IPV4_HEADER_WORDS {
+            return Err(format!(
+                "quantum of {} words must exceed the {}-word IP header",
+                cfg.quantum_words,
+                raw_net::IPV4_HEADER_WORDS
+            ));
+        }
         let layout = RouterLayout::canonical();
         let mut machine = RawMachine::new(cfg.raw.clone());
-        if cfg.asm_crossbar {
-            assert!(
-                cfg.weights.iter().all(|&w| w == 1),
-                "the assembly crossbar uses a plain modulo-4 token"
-            );
+        if cfg.asm_crossbar && !cfg.weights.iter().all(|&w| w == 1) {
+            return Err("the assembly crossbar uses a plain modulo-4 token".into());
         }
         let cs = Arc::new(if cfg.multicast || cfg.asm_crossbar {
             ConfigSpace::enumerate_multicast(cfg.policy)
@@ -149,6 +166,10 @@ impl RawRouter {
             let port = i as u8;
             // --- Ingress ---
             let ig_code = codegen::gen_ingress_switch(p, cfg.quantum_words);
+            ig_code
+                .program
+                .validate()
+                .map_err(|e| format!("port {i} ingress switch program: {e}"))?;
             machine.set_switch_program(p.ingress, NET0, ig_code.program.clone());
             let (mut ig, igs) = IngressProgram::new(
                 port,
@@ -177,10 +198,10 @@ impl RawRouter {
 
             // --- Crossbar ---
             let xb_code = codegen::gen_crossbar_switch(p, &cs, cfg.quantum_words);
-            assert!(
-                xb_code.program.fits_switch_imem(),
-                "crossbar switch program exceeds instruction memory"
-            );
+            xb_code
+                .program
+                .validate()
+                .map_err(|e| format!("port {i} crossbar switch program: {e}"))?;
             machine.set_switch_program(p.crossbar, NET0, xb_code.program.clone());
             if cfg.asm_crossbar {
                 // The §6.5 path: generated Raw assembly with a
@@ -217,8 +238,16 @@ impl RawRouter {
 
             // --- Egress ---
             let eg_code = codegen::gen_egress_switch(p, cfg.quantum_words);
+            eg_code
+                .program
+                .validate()
+                .map_err(|e| format!("port {i} egress switch program: {e}"))?;
             machine.set_switch_program(p.egress, NET0, eg_code.program.clone());
-            machine.set_switch_program(p.egress, NET1, codegen::gen_egress_net1(p));
+            let eg_net1 = codegen::gen_egress_net1(p);
+            eg_net1
+                .validate()
+                .map_err(|e| format!("port {i} egress net-1 switch program: {e}"))?;
+            machine.set_switch_program(p.egress, NET1, eg_net1);
             let mode = if cfg.cut_through {
                 EgressMode::CutThrough
             } else {
@@ -245,7 +274,7 @@ impl RawRouter {
             out_cols.push(col);
         }
 
-        RawRouter {
+        Ok(RawRouter {
             machine,
             events,
             asm_watches,
@@ -260,7 +289,7 @@ impl RawRouter {
             xb_stats: xb_stats.try_into().map_err(|_| ()).unwrap(),
             eg_stats: eg_stats.try_into().map_err(|_| ()).unwrap(),
             offered: 0,
-        }
+        })
     }
 
     /// Queue a packet for injection on input `port` at `release` cycles.
@@ -400,5 +429,61 @@ impl RawRouter {
     /// agree (§5.1). Returns the counts for assertion in tests.
     pub fn token_counters(&self) -> [u64; NPORTS] {
         std::array::from_fn(|i| self.xb_stats[i].lock().unwrap().quanta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Arc<ForwardingTable> {
+        use raw_lookup::RouteEntry;
+        let routes: Vec<RouteEntry> = (0..4)
+            .map(|p| RouteEntry::new(0x0a00_0000 | (p << 16), 16, p))
+            .collect();
+        Arc::new(ForwardingTable::build(&routes))
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configurations() {
+        let e = RawRouter::try_new(
+            RouterConfig {
+                quantum_words: 0,
+                ..RouterConfig::default()
+            },
+            table(),
+        )
+        .err()
+        .expect("zero quantum must be rejected");
+        assert!(e.contains("quantum"), "{e}");
+
+        let e = RawRouter::try_new(
+            RouterConfig {
+                quantum_words: raw_net::IPV4_HEADER_WORDS,
+                ..RouterConfig::default()
+            },
+            table(),
+        )
+        .err()
+        .expect("header-sized quantum must be rejected");
+        assert!(e.contains("IP header"), "{e}");
+
+        let e = RawRouter::try_new(
+            RouterConfig {
+                asm_crossbar: true,
+                weights: [2, 1, 1, 1],
+                quantum_words: 16,
+                ..RouterConfig::default()
+            },
+            table(),
+        )
+        .err()
+        .expect("weighted token with asm crossbar must be rejected");
+        assert!(e.contains("token"), "{e}");
+    }
+
+    #[test]
+    fn try_new_accepts_the_default_configuration() {
+        assert!(RawRouter::try_new(RouterConfig::default(), table()).is_ok());
     }
 }
