@@ -154,6 +154,50 @@ fn bench_ipv4(c: &mut Criterion) {
     g.finish();
 }
 
+/// The telemetry guardrail: the same saturated-router run detached and
+/// with a NullSink attached. The two bars must stay within the <2%
+/// regression budget the disabled path promises (compare
+/// `router_64B_detached` against `router_64B_nullsink` in the report).
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    for attach in [false, true] {
+        let name = if attach {
+            "router_64B_nullsink"
+        } else {
+            "router_64B_detached"
+        };
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let cfg = RouterConfig {
+                        quantum_words: 16,
+                        cut_through: true,
+                        ..RouterConfig::default()
+                    };
+                    let telemetry = attach.then(|| raw_telemetry::shared(raw_telemetry::NullSink));
+                    let mut r = RawRouter::try_new_with_telemetry(
+                        cfg,
+                        raw_bench::experiment_table(),
+                        telemetry,
+                    )
+                    .unwrap();
+                    for sp in generate(&Workload::peak(64, 400)) {
+                        r.offer(sp.port, sp.release, &sp.packet);
+                    }
+                    r
+                },
+                |mut r| {
+                    r.run(20_000);
+                    r.delivered_count()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
 /// The §2.2.2 baseline fabrics.
 fn bench_fabrics(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_fabrics");
@@ -181,6 +225,7 @@ criterion_group!(
     benches,
     bench_router,
     bench_sim_speed,
+    bench_telemetry,
     bench_scheduler,
     bench_lookup,
     bench_ipv4,

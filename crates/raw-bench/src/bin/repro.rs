@@ -407,6 +407,85 @@ fn run_simspeed() {
     write_json(&results_dir(), "simspeed", &rep).unwrap();
 }
 
+fn run_telemetry() {
+    // `repro -- telemetry [cycles]`: a smaller span makes a smoke test
+    // (CI); the default matches the Figure 7-1 measurement span.
+    let cycles = match std::env::args().nth(2) {
+        None => 220_000,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("telemetry: '{s}' is not a cycle count")),
+    };
+    println!("== telemetry: per-stage latency breakdown & stall attribution ({cycles} cycles) ==");
+    let (rep, trace) = telemetry_report(cycles);
+    for run in &rep.runs {
+        println!(
+            "--- {} ({} packets completed, {:.2} Gbps) ---",
+            run.name, run.summary.packets_completed, run.gbps
+        );
+        let rows: Vec<Vec<String>> = run
+            .summary
+            .stages
+            .iter()
+            .map(|s| {
+                vec![
+                    s.stage.clone(),
+                    format!("{:.1}", s.mean_cycles),
+                    s.p50.to_string(),
+                    s.p90.to_string(),
+                    s.p99.to_string(),
+                    s.p999.to_string(),
+                    s.max.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &["stage", "mean", "p50", "p90", "p99", "p999", "max"],
+                &rows
+            )
+        );
+        let stalled: Vec<Vec<String>> = run
+            .summary
+            .tiles
+            .iter()
+            .filter(|t| t.top_stall != "none")
+            .map(|t| {
+                vec![
+                    t.tile.to_string(),
+                    format!("{:.0}%", 100.0 * t.busy as f64 / t.total.max(1) as f64),
+                    t.fifo_full.to_string(),
+                    t.fifo_empty.to_string(),
+                    t.token_wait.to_string(),
+                    t.top_stall.clone(),
+                ]
+            })
+            .collect();
+        if !stalled.is_empty() {
+            println!(
+                "{}",
+                table(
+                    &[
+                        "tile",
+                        "busy",
+                        "fifo-full",
+                        "fifo-empty",
+                        "token-wait",
+                        "top stall"
+                    ],
+                    &stalled
+                )
+            );
+        }
+    }
+    write_json(&results_dir(), "telemetry", &rep).unwrap();
+    std::fs::write(results_dir().join("telemetry_trace.json"), trace).unwrap();
+    println!(
+        "wrote results/telemetry.json; results/telemetry_trace.json loads in chrome://tracing"
+    );
+}
+
 fn run_verify() {
     println!("== static verification: conflict / lockstep / deadlock / jump-table ==");
     let report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
@@ -485,13 +564,14 @@ fn main() {
     run("asm-crossbar", &run_asm);
     run("latency", &run_latency);
     run("simspeed", &run_simspeed);
+    run("telemetry", &run_telemetry);
     run("verify", &run_verify);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
              multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
-             simspeed verify"
+             simspeed telemetry verify"
         );
         std::process::exit(2);
     }

@@ -59,7 +59,7 @@ fn run_router_throughput(w: &Workload, warm: u64, window: u64) -> (f64, f64) {
 }
 
 /// How many packets per port saturate a measurement window.
-fn packets_for(bytes: usize, cycles: u64) -> usize {
+pub(crate) fn packets_for(bytes: usize, cycles: u64) -> usize {
     ((cycles as usize) / (bytes / 4)).clamp(64, 8000)
 }
 
@@ -158,8 +158,8 @@ pub fn fig7_3(bytes: usize) -> (String, String) {
     // Warm into steady state, then record 800 cycles as the paper does.
     r.start_trace(20_000, 800);
     r.run(20_000 + 800 + 16);
-    let tr = r.take_trace().expect("trace recorded");
-    (tr.render_ascii(8), tr.to_csv())
+    let at = r.take_trace().expect("trace recorded").to_activity_trace();
+    (at.render_ascii(8), at.to_csv())
 }
 
 /// E4 / §6.1–6.2 + Table 6.1: configuration-space minimization.

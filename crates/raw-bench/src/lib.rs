@@ -8,7 +8,9 @@
 pub mod experiments;
 pub mod report;
 pub mod simspeed;
+pub mod telemetry;
 
 pub use experiments::*;
 pub use report::*;
 pub use simspeed::*;
+pub use telemetry::*;

@@ -8,6 +8,7 @@
 //!    statistics, switch stalls, and the full Figure 7-3 trace.
 
 use raw_sim::TileId;
+use raw_telemetry::{shared, NullSink, Recorder, SharedSink};
 use raw_workloads::{generate, Workload};
 use raw_xbar::{RawRouter, RouterConfig};
 
@@ -15,6 +16,14 @@ use raw_xbar::{RawRouter, RouterConfig};
 /// window, distilled to two strings: a metrics fingerprint and the full
 /// per-cycle trace CSV.
 fn traced_peak(bytes: usize, fast_forward: bool) -> (String, String) {
+    traced_peak_with(bytes, fast_forward, None)
+}
+
+fn traced_peak_with(
+    bytes: usize,
+    fast_forward: bool,
+    telemetry: Option<SharedSink>,
+) -> (String, String) {
     let quantum = bytes / 4;
     let mut cfg = RouterConfig {
         quantum_words: quantum,
@@ -22,7 +31,8 @@ fn traced_peak(bytes: usize, fast_forward: bool) -> (String, String) {
         ..RouterConfig::default()
     };
     cfg.raw.fast_forward = fast_forward;
-    let mut r = RawRouter::new(cfg, raw_bench::experiment_table());
+    let mut r = RawRouter::try_new_with_telemetry(cfg, raw_bench::experiment_table(), telemetry)
+        .expect("router builds");
     for sp in generate(&Workload::peak(bytes, 800)) {
         r.offer(sp.port, sp.release, &sp.packet);
     }
@@ -44,7 +54,11 @@ fn traced_peak(bytes: usize, fast_forward: bool) -> (String, String) {
             r.machine.switch_stall_cycles(tile)
         ));
     }
-    let trace = r.take_trace().expect("trace complete").to_csv();
+    let trace = r
+        .take_trace()
+        .expect("trace complete")
+        .to_activity_trace()
+        .to_csv();
     (metrics, trace)
 }
 
@@ -63,6 +77,24 @@ fn fast_forward_matches_per_cycle_reference() {
     let (m_ref, t_ref) = traced_peak(256, false);
     assert_eq!(m_skip, m_ref, "metrics diverged between engine modes");
     assert_eq!(t_skip, t_ref, "trace diverged between engine modes");
+}
+
+#[test]
+fn telemetry_sink_never_changes_the_golden_run() {
+    // The instrumentation must be observation-only: detached, a no-op
+    // NullSink, and a full Recorder all yield byte-identical metrics and
+    // traces, in both engine modes.
+    for ff in [true, false] {
+        let detached = traced_peak_with(256, ff, None);
+        let null = traced_peak_with(256, ff, Some(shared(NullSink)));
+        let recorded = traced_peak_with(
+            256,
+            ff,
+            Some(shared(Recorder::new(16, raw_sim::NUM_STATIC_NETS))),
+        );
+        assert_eq!(detached, null, "NullSink perturbed the run (ff={ff})");
+        assert_eq!(detached, recorded, "Recorder perturbed the run (ff={ff})");
+    }
 }
 
 #[test]

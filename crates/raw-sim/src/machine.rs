@@ -21,6 +21,25 @@ use crate::geom::{GridDim, TileId};
 use crate::program::{mem_grow_target, IdleProgram, TileIo, TileProgram};
 use crate::switch::{Route, SwPort, SwitchCtrl, SwitchProgram, SwitchState, NUM_STATIC_NETS};
 use crate::trace::{Activity, TileStats, TraceWindow};
+use raw_telemetry::{SharedSink, SwitchStallCause, TileState};
+
+/// Refine a coarse [`Activity`] into the telemetry [`TileState`]. The
+/// token-wait hint (set by a program through
+/// [`TileIo::hint_token_wait`][crate::program::TileIo::hint_token_wait])
+/// reclassifies cycles that would otherwise read as idle or
+/// blocked-receive while waiting on the crossbar grant protocol.
+#[inline]
+fn refine_state(a: Activity, token_hint: bool) -> TileState {
+    match a {
+        Activity::Busy => TileState::Busy,
+        Activity::Idle if token_hint => TileState::TokenWait,
+        Activity::Idle => TileState::Idle,
+        Activity::BlockedSend => TileState::FifoFull,
+        Activity::BlockedRecv if token_hint => TileState::TokenWait,
+        Activity::BlockedRecv => TileState::FifoEmpty,
+        Activity::CacheStall => TileState::CacheStall,
+    }
+}
 
 /// Machine-wide configuration. Defaults model the 250 MHz Raw prototype.
 #[derive(Clone, Debug)]
@@ -107,6 +126,22 @@ pub struct RawMachine {
     device_table: Vec<u16>,
     device_ports: Vec<EdgePort>,
     trace: Option<TraceWindow>,
+    /// Attached telemetry sink. `None` (the default) costs one branch per
+    /// cycle phase and nothing else — the event-skip fast path and the
+    /// zero-allocation hot path are preserved.
+    telemetry: Option<SharedSink>,
+    /// False when the attached sink is a [`raw_telemetry::NullSink`]:
+    /// every NullSink callback is a no-op, so the machine elides the
+    /// per-cycle lock-and-publish entirely (observationally identical,
+    /// and it keeps NullSink at the same cost as no sink at all).
+    telemetry_active: bool,
+    /// Per-tile token-wait hint from the most recent tick (see
+    /// [`refine_state`]).
+    token_hint: Vec<bool>,
+    /// Last switch stall cause per `(tile, net)`, maintained only while a
+    /// telemetry sink is attached; fast-forward credits skipped stall
+    /// cycles to it, mirroring `switch_stall_cycles` bulk crediting.
+    last_switch_cause: Vec<[SwitchStallCause; NUM_STATIC_NETS]>,
     /// The activity each tile recorded on the most recent cycle (the state
     /// a skipped quiet cycle would repeat).
     last_activity: Vec<Activity>,
@@ -159,6 +194,10 @@ impl RawMachine {
             device_table: vec![NO_DEVICE; n * NUM_STATIC_NETS * 4],
             device_ports: Vec::new(),
             trace: None,
+            telemetry: None,
+            telemetry_active: false,
+            token_hint: vec![false; n],
+            last_switch_cause: vec![[SwitchStallCause::FifoEmpty; NUM_STATIC_NETS]; n],
             last_activity: vec![Activity::Idle; n],
             last_progress: 0,
             edge_drops: 0,
@@ -334,6 +373,33 @@ impl RawMachine {
         (st.pc, st.halted)
     }
 
+    /// Attach a telemetry sink. The machine publishes refined per-tile
+    /// cycle states and per-`(tile, net)` switch stall causes into it;
+    /// tile programs holding a clone of the same handle publish packet
+    /// lifecycle events. Observation only — attaching a sink never
+    /// changes simulation results.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        self.telemetry_active = !raw_telemetry::is_null(&sink);
+        self.telemetry = Some(sink);
+    }
+
+    /// Detach the telemetry sink, returning the handle.
+    pub fn take_telemetry(&mut self) -> Option<SharedSink> {
+        self.telemetry_active = false;
+        self.telemetry.take()
+    }
+
+    /// The sink to publish into, or `None` when publishing would be a
+    /// no-op (detached, or a NullSink is attached).
+    #[inline]
+    fn active_sink(&self) -> Option<&SharedSink> {
+        if self.telemetry_active {
+            self.telemetry.as_ref()
+        } else {
+            None
+        }
+    }
+
     /// Begin recording a per-tile activity trace window.
     pub fn start_trace(&mut self, start_cycle: u64, len: usize) {
         assert!(
@@ -411,11 +477,11 @@ impl RawMachine {
         let n = self.tiles.len();
         let cols = self.cfg.dim.cols as u32;
         for t in 0..n {
-            let activity = if cycle < self.tiles[t].stall_until {
-                Activity::CacheStall
+            let (activity, hint) = if cycle < self.tiles[t].stall_until {
+                (Activity::CacheStall, false)
             } else {
                 let mut program = self.tiles[t].program.take();
-                let activity = if let Some(prog) = program.as_mut() {
+                let outcome = if let Some(prog) = program.as_mut() {
                     let tile = &mut self.tiles[t];
                     let col = (t as u32) % cols;
                     let col_hops = col.min(cols - 1 - col);
@@ -434,19 +500,33 @@ impl RawMachine {
                         &mut tile.stall_until,
                     );
                     prog.tick(&mut io);
-                    io.take_activity()
+                    let hint = io.token_wait_hint;
+                    (io.take_activity(), hint)
                 } else {
-                    Activity::Idle
+                    (Activity::Idle, false)
                 };
                 self.tiles[t].program = program;
-                activity
+                outcome
             };
             self.tiles[t].stats.record(activity);
             self.last_activity[t] = activity;
+            self.token_hint[t] = hint;
             if let Some(tr) = &mut self.trace {
                 tr.record(t, cycle, activity);
             }
             progress |= activity == Activity::Busy;
+        }
+        if let Some(sink) = self.active_sink() {
+            // One lock per cycle for all tiles; programs stamp their own
+            // packet events inside `tick`, outside this critical section.
+            let mut g = sink.lock().unwrap();
+            for t in 0..n {
+                g.tile_cycles(
+                    t as u16,
+                    refine_state(self.last_activity[t], self.token_hint[t]),
+                    1,
+                );
+            }
         }
         progress
     }
@@ -495,6 +575,10 @@ impl RawMachine {
         // over the instruction's route list, like `fired` itself.
         let mut fired = self.tiles[t].switch_state[net].fired;
         let mut any_fired = false;
+        // First refused group's block cause, for stall attribution —
+        // computed only while a telemetry sink is attached.
+        let attribute = self.telemetry_active;
+        let mut block_cause: Option<SwitchStallCause> = None;
         let mut gi = 0;
         while gi < nroutes {
             if fired & (1 << gi) != 0 {
@@ -512,6 +596,8 @@ impl RawMachine {
                 self.fire_group(t, routes, group, cycle);
                 fired |= group;
                 any_fired = true;
+            } else if attribute && block_cause.is_none() {
+                block_cause = self.group_block_cause(t, routes, group, cycle);
             }
             gi += 1;
         }
@@ -538,6 +624,14 @@ impl RawMachine {
             ctrl_transition = !any_fired;
         } else if !any_fired {
             self.tiles[t].switch_stall_cycles += 1;
+            if let Some(cause) = block_cause {
+                self.last_switch_cause[t][net] = cause;
+                if let Some(sink) = self.active_sink() {
+                    sink.lock()
+                        .unwrap()
+                        .switch_stalls(t as u16, net as u8, cause, 1);
+                }
+            }
         }
         (any_fired, ctrl_transition)
     }
@@ -581,6 +675,62 @@ impl RawMachine {
             }
         }
         true
+    }
+
+    /// Why the route group cannot fire this cycle, mirroring
+    /// [`RawMachine::group_ready`]'s refusal order exactly: source word
+    /// not visible, then a full destination FIFO, then a bound edge
+    /// device refusing the word. `None` means the group is actually
+    /// ready (the caller only asks about refused groups).
+    fn group_block_cause(
+        &self,
+        t: usize,
+        routes: &[Route],
+        group: u32,
+        cycle: u64,
+    ) -> Option<SwitchStallCause> {
+        let lead = routes[group.trailing_zeros() as usize];
+        let src_ok = match lead.src {
+            SwPort::Proc => self.tiles[t].csto.has_visible(cycle, 0),
+            p => {
+                let d = p.dir().unwrap();
+                self.link_in[t][lead.net][d.index()].has_visible(cycle, 0)
+            }
+        };
+        if !src_ok {
+            return Some(SwitchStallCause::FifoEmpty);
+        }
+        let mut bits = group;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let r = routes[j];
+            match r.dst {
+                SwPort::Proc => {
+                    if !self.tiles[t].csti[r.net].has_space() {
+                        return Some(SwitchStallCause::FifoFull);
+                    }
+                }
+                p => {
+                    let d = p.dir().unwrap();
+                    match self.cfg.dim.neighbor(TileId(t as u16), d) {
+                        Some(nb) => {
+                            if !self.link_in[nb.index()][r.net][d.opposite().index()].has_space() {
+                                return Some(SwitchStallCause::FifoFull);
+                            }
+                        }
+                        None => {
+                            if let Some(i) = self.device_at(t, r.net, d.index()) {
+                                if !self.devices[i].can_push(cycle) {
+                                    return Some(SwitchStallCause::DeviceBackpressure);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 
     fn fire_group(&mut self, t: usize, routes: &[Route], group: u32, cycle: u64) {
@@ -750,6 +900,25 @@ impl RawMachine {
             }
             if let Some(tr) = &mut self.trace {
                 tr.record_span(t, from, span, a);
+            }
+        }
+        if let Some(sink) = self.active_sink() {
+            // Bulk-credit the skipped cycles exactly as per-cycle stepping
+            // would have: each tile repeats its refined state, and every
+            // non-halted switch repeats its last attributed stall cause (a
+            // skipped quiet cycle replays the previous cycle's refusals).
+            let mut g = sink.lock().unwrap();
+            for (t, tile) in self.tiles.iter().enumerate() {
+                g.tile_cycles(
+                    t as u16,
+                    refine_state(self.last_activity[t], self.token_hint[t]),
+                    span,
+                );
+                for (net, st) in tile.switch_state.iter().enumerate() {
+                    if !st.halted {
+                        g.switch_stalls(t as u16, net as u8, self.last_switch_cause[t][net], span);
+                    }
+                }
             }
         }
         self.cycle = target;

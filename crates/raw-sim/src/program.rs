@@ -86,6 +86,9 @@ pub struct TileIo<'a> {
     pub(crate) proc_recv_delay: u64,
     pub(crate) stall_until: &'a mut u64,
     pub(crate) activity: Activity,
+    /// Set by [`TileIo::hint_token_wait`]; read by the machine to refine
+    /// this cycle's activity for telemetry.
+    pub(crate) token_wait_hint: bool,
     acted: bool,
 }
 
@@ -119,6 +122,7 @@ impl<'a> TileIo<'a> {
             proc_recv_delay,
             stall_until,
             activity: Activity::Idle,
+            token_wait_hint: false,
             acted: false,
         }
     }
@@ -380,6 +384,15 @@ impl<'a> TileIo<'a> {
             self.mem.resize(self.mem_limit, 0);
         }
         self.mem
+    }
+
+    /// Mark this cycle as spent waiting on a token/grant protocol rather
+    /// than ordinary idleness or an empty FIFO. Does not retire and does
+    /// not change simulation behavior — it only refines how an attached
+    /// telemetry sink classifies the cycle (token-wait instead of idle /
+    /// fifo-empty stall attribution).
+    pub fn hint_token_wait(&mut self) {
+        self.token_wait_hint = true;
     }
 
     /// Permit one more retiring call within this cycle.

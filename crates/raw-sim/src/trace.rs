@@ -6,8 +6,6 @@
 //! separate and can render either the paper's two-tone view or a richer
 //! one.
 
-use std::fmt::Write as _;
-
 /// What a tile processor spent a cycle on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Activity {
@@ -112,6 +110,11 @@ impl TraceWindow {
         }
     }
 
+    /// Number of tile rows in the window.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
     /// True while the window still wants samples at `cycle`.
     pub fn wants(&self, cycle: u64) -> bool {
         cycle >= self.start_cycle && (cycle - self.start_cycle) < self.len as u64
@@ -156,31 +159,49 @@ impl TraceWindow {
         &self.samples[tile]
     }
 
+    /// Convert to the neutral telemetry export representation: state
+    /// indices follow [`Activity::index`], CSV names and blocked/busy
+    /// classes match the historical `fig7_3_*.csv` / ASCII output
+    /// byte-for-byte.
+    pub fn to_activity_trace(&self) -> raw_telemetry::ActivityTrace {
+        use raw_telemetry::ActivityClass;
+        let states = Activity::ALL
+            .iter()
+            .map(|a| {
+                let name = match a {
+                    Activity::Idle => "idle",
+                    Activity::Busy => "busy",
+                    Activity::BlockedSend => "blocked_send",
+                    Activity::BlockedRecv => "blocked_recv",
+                    Activity::CacheStall => "cache_stall",
+                };
+                let class = if *a == Activity::Busy {
+                    ActivityClass::Busy
+                } else if a.is_blocked() {
+                    ActivityClass::Blocked
+                } else {
+                    ActivityClass::Idle
+                };
+                (name.to_string(), class)
+            })
+            .collect();
+        raw_telemetry::ActivityTrace {
+            start_cycle: self.start_cycle,
+            states,
+            samples: self
+                .samples
+                .iter()
+                .map(|row| row.iter().map(|a| a.index() as u8).collect())
+                .collect(),
+        }
+    }
+
     /// Render the window in the style of Figure 7-3: one row per tile,
     /// buckets of `bucket` cycles; `#` mostly-busy, `.` mostly-blocked
     /// (gray in the paper), ` ` mostly idle.
+    #[deprecated(note = "use to_activity_trace().render_ascii(bucket) — the telemetry exporter")]
     pub fn render_ascii(&self, bucket: usize) -> String {
-        let bucket = bucket.max(1);
-        let mut out = String::new();
-        for t in 0..self.tiles {
-            let row = &self.samples[t];
-            let _ = write!(out, "{t:>2} |");
-            for chunk in row.chunks(bucket) {
-                let busy = chunk.iter().filter(|a| **a == Activity::Busy).count();
-                let blocked = chunk.iter().filter(|a| a.is_blocked()).count();
-                let idle = chunk.len() - busy - blocked;
-                let c = if busy >= blocked && busy >= idle {
-                    '#'
-                } else if blocked >= idle {
-                    '.'
-                } else {
-                    ' '
-                };
-                out.push(c);
-            }
-            out.push('\n');
-        }
-        out
+        self.to_activity_trace().render_ascii(bucket)
     }
 
     /// Per-tile `(busy, blocked, idle)` fractions over the window.
@@ -196,21 +217,9 @@ impl TraceWindow {
     }
 
     /// CSV rows `tile,cycle,state` for external plotting.
+    #[deprecated(note = "use to_activity_trace().to_csv() — the telemetry exporter")]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("tile,cycle,state\n");
-        for t in 0..self.tiles {
-            for (i, a) in self.samples[t].iter().enumerate() {
-                let state = match a {
-                    Activity::Idle => "idle",
-                    Activity::Busy => "busy",
-                    Activity::BlockedSend => "blocked_send",
-                    Activity::BlockedRecv => "blocked_recv",
-                    Activity::CacheStall => "cache_stall",
-                };
-                let _ = writeln!(out, "{},{},{}", t, self.start_cycle + i as u64, state);
-            }
-        }
-        out
+        self.to_activity_trace().to_csv()
     }
 }
 
@@ -270,7 +279,7 @@ mod tests {
         {
             w.record(0, c as u64, *a);
         }
-        let s = w.render_ascii(2);
+        let s = w.to_activity_trace().render_ascii(2);
         assert!(s.contains('#'));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 1);
@@ -281,8 +290,28 @@ mod tests {
         let mut w = TraceWindow::new(1, 0, 2);
         w.record(0, 0, Activity::Busy);
         w.record(0, 1, Activity::CacheStall);
-        let csv = w.to_csv();
+        let csv = w.to_activity_trace().to_csv();
         assert!(csv.contains("0,0,busy"));
         assert!(csv.contains("0,1,cache_stall"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_adapters_match_exporter() {
+        let mut w = TraceWindow::new(2, 5, 4);
+        for cycle in 5..9 {
+            w.record(0, cycle, Activity::Busy);
+            w.record(
+                1,
+                cycle,
+                if cycle % 2 == 0 {
+                    Activity::BlockedRecv
+                } else {
+                    Activity::Idle
+                },
+            );
+        }
+        assert_eq!(w.to_csv(), w.to_activity_trace().to_csv());
+        assert_eq!(w.render_ascii(2), w.to_activity_trace().render_ascii(2));
     }
 }

@@ -1,0 +1,150 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the stable subset of the trace-event format that both
+//! `chrome://tracing` and Perfetto accept: one process per ingress port,
+//! one thread lane per pipeline stage, and `"X"` (complete) events whose
+//! `ts`/`dur` are simulated cycles rendered as microseconds.
+
+use std::fmt::Write as _;
+
+use crate::recorder::{PacketLife, StageSpan};
+
+/// Thread lane per derived stage, in pipeline order (skip Total — the
+/// per-stage events already tile the packet's residence).
+const LANES: [StageSpan; 5] = [
+    StageSpan::Ingress,
+    StageSpan::Lookup,
+    StageSpan::XbarWait,
+    StageSpan::EgressLaunch,
+    StageSpan::Serialize,
+];
+
+/// Start cycle of `span` within `life`, when stamped.
+fn span_start(span: StageSpan, life: &PacketLife) -> Option<u64> {
+    match span {
+        StageSpan::Ingress => Some(life.accept),
+        StageSpan::Lookup => life.lookup_issue,
+        StageSpan::XbarWait => life.lookup_complete,
+        StageSpan::EgressLaunch => life.grant,
+        StageSpan::Serialize => life.first_word,
+        StageSpan::Total => Some(life.accept),
+    }
+}
+
+/// Render up to `max_packets` packet lifecycles as a Chrome trace. The
+/// result is a complete, self-contained JSON document.
+pub fn chrome_trace(lives: &[PacketLife], max_packets: usize) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // Metadata: name each port's process and each stage's thread lane.
+    let mut ports: Vec<u8> = lives.iter().take(max_packets).map(|l| l.port).collect();
+    ports.sort_unstable();
+    ports.dedup();
+    for &p in &ports {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\
+                 \"args\":{{\"name\":\"ingress port {p}\"}}}}"
+            ),
+        );
+        for (lane, span) in LANES.iter().enumerate() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":{lane},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    span.name()
+                ),
+            );
+        }
+    }
+
+    for life in lives.iter().take(max_packets) {
+        for (lane, &span) in LANES.iter().enumerate() {
+            let (Some(ts), Some(dur)) = (span_start(span, life), span.of(life)) else {
+                continue;
+            };
+            let mut ev = String::new();
+            let _ = write!(
+                ev,
+                "{{\"name\":\"{}\",\"cat\":\"packet\",\"ph\":\"X\",\"ts\":{ts},\
+                 \"dur\":{dur},\"pid\":{},\"tid\":{lane},\
+                 \"args\":{{\"id\":{},\"dst\":{}}}}}",
+                span.name(),
+                life.port,
+                life.id,
+                life.dst
+            );
+            push(&mut out, &mut first, ev);
+        }
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn life() -> PacketLife {
+        PacketLife {
+            port: 1,
+            id: 42,
+            dst: 3,
+            accept: 100,
+            lookup_issue: Some(104),
+            lookup_complete: Some(112),
+            grant: Some(130),
+            first_word: Some(134),
+            last_word: 150,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_lanes() {
+        let s = chrome_trace(&[life()], 10);
+        let v: serde::Value = serde_json::from_str(&s).expect("valid JSON");
+        let serde::Value::Object(fields) = &v else {
+            panic!("not an object")
+        };
+        assert!(fields.iter().any(|(k, _)| k == "traceEvents"));
+        let serde::Value::Array(evs) = v.get("traceEvents").unwrap() else {
+            panic!("not an array")
+        };
+        // 6 metadata events (1 process + 5 lanes) + 5 stage events.
+        assert_eq!(evs.len(), 11);
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"name\":\"serialize\""));
+        assert!(s.contains("\"ts\":134,\"dur\":16"));
+    }
+
+    #[test]
+    fn packet_cap_is_respected() {
+        let lives: Vec<PacketLife> = (0..100).map(|i| PacketLife { id: i, ..life() }).collect();
+        let s = chrome_trace(&lives, 3);
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), 15);
+    }
+
+    #[test]
+    fn partial_lives_skip_unstamped_lanes() {
+        let mut l = life();
+        l.lookup_issue = None;
+        l.lookup_complete = None;
+        let s = chrome_trace(&[l], 10);
+        // Ingress and lookup lanes cannot be derived without the issue stamp.
+        assert!(!s.contains("\"name\":\"lookup\",\"cat\""));
+        assert!(s.contains("\"name\":\"serialize\",\"cat\""));
+    }
+}

@@ -1,0 +1,45 @@
+//! # raw-telemetry — instrumentation for the Raw router reproduction
+//!
+//! A zero-overhead-when-disabled measurement layer threaded through
+//! `raw-sim` (cycle engine) and `raw-xbar` (tile programs), answering the
+//! question the paper's end-to-end throughput curves leave open: *where
+//! does the time go?* Four pillars:
+//!
+//! * **Packet lifecycle tracing** — each packet is stamped at
+//!   ingress-accept, lookup-issue/complete, crossbar-grant, and
+//!   first/last-word-egress ([`Stage`]); the [`Recorder`] derives a
+//!   per-stage cycle breakdown ([`StageSpan`]).
+//! * **Latency histograms** — fixed-bucket log-linear [`Histogram`]s
+//!   (HDR style, integer-only, allocation-free after setup) with
+//!   p50/p90/p99/p999 extraction per output port and per stage.
+//! * **Stall attribution** — every tile cycle is classified into a
+//!   refined [`TileState`] (busy, idle, fifo-full, fifo-empty,
+//!   cache-stall, token-wait) and every stalled switch crossing into a
+//!   [`SwitchStallCause`] (fifo-empty, fifo-full, device-backpressure),
+//!   with the conservation invariant `sum(states) == cycles`.
+//! * **Exporters** — a Chrome `trace_event` writer ([`chrome_trace`])
+//!   for `chrome://tracing`/Perfetto, serializable summaries
+//!   ([`TelemetrySummary`]) for `results/telemetry.json`, and the
+//!   neutral Figure 7-3 activity exporter ([`ActivityTrace`]).
+//!
+//! The simulator publishes into an `Option<`[`SharedSink`]`>`: with no
+//! sink attached instrumentation is a single branch per cycle phase, and
+//! [`NullSink`] turns every callback into a defaulted no-op — either way
+//! the hot path allocates nothing, preserving the event-skip fast path.
+
+pub mod chrome;
+pub mod export;
+pub mod histogram;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use export::{ActivityClass, ActivityTrace};
+pub use histogram::Histogram;
+pub use recorder::{PacketLife, Recorder, StageSpan};
+pub use report::{OutputStats, StageStats, SwitchStallStats, TelemetrySummary, TileStallStats};
+pub use sink::{
+    is_null, shared, with_sink, NullSink, SharedSink, Stage, SwitchStallCause, TelemetrySink,
+    TileState,
+};

@@ -1,0 +1,244 @@
+//! The telemetry sink trait and its two canonical implementations.
+//!
+//! The simulator and the router programs publish events into a
+//! [`TelemetrySink`] behind `Option<SharedSink>`: when no sink is attached
+//! the instrumentation is a single `None` branch, and when [`NullSink`] is
+//! attached every callback is a defaulted empty method — either way the
+//! hot path does no allocation and no recording work. [`crate::Recorder`]
+//! is the full implementation behind `repro -- telemetry`.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// A packet lifecycle stage, in pipeline order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// First wire word of the packet accepted by the ingress processor.
+    IngressAccept,
+    /// Header handed to the lookup processor over the dynamic network.
+    LookupIssue,
+    /// Route result received back from the lookup processor.
+    LookupComplete,
+    /// First crossbar grant won for the packet (token protocol).
+    CrossbarGrant,
+    /// First payload word leaves on the egress side.
+    FirstWordEgress,
+    /// Last payload word leaves on the egress side.
+    LastWordEgress,
+}
+
+/// Refined per-cycle state of a tile processor. Exactly one state is
+/// credited per tile per simulated cycle, so per tile
+/// `sum(all states) == cycles simulated` — the conservation invariant the
+/// telemetry report asserts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TileState {
+    /// No work issued and no stall hint.
+    Idle,
+    /// Retired useful work.
+    Busy,
+    /// Blocked writing a full FIFO (transmit side).
+    FifoFull,
+    /// Blocked reading an empty FIFO (receive side).
+    FifoEmpty,
+    /// Stalled on a data-cache miss.
+    CacheStall,
+    /// Waiting on the crossbar token/grant protocol (hinted by the
+    /// ingress program; otherwise these cycles would read as idle).
+    TokenWait,
+}
+
+impl TileState {
+    pub const COUNT: usize = 6;
+    pub const ALL: [TileState; TileState::COUNT] = [
+        TileState::Idle,
+        TileState::Busy,
+        TileState::FifoFull,
+        TileState::FifoEmpty,
+        TileState::CacheStall,
+        TileState::TokenWait,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TileState::Idle => 0,
+            TileState::Busy => 1,
+            TileState::FifoFull => 2,
+            TileState::FifoEmpty => 3,
+            TileState::CacheStall => 4,
+            TileState::TokenWait => 5,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TileState::Idle => "idle",
+            TileState::Busy => "busy",
+            TileState::FifoFull => "fifo_full",
+            TileState::FifoEmpty => "fifo_empty",
+            TileState::CacheStall => "cache_stall",
+            TileState::TokenWait => "token_wait",
+        }
+    }
+
+    /// True for the stall states (everything but busy/idle).
+    #[inline]
+    pub fn is_stall(self) -> bool {
+        !matches!(self, TileState::Idle | TileState::Busy)
+    }
+}
+
+/// Why a switch crossing point could not fire a ready route this cycle.
+/// The first refusal in the switch's own readiness order wins: source
+/// word not visible, then destination FIFO full, then edge device
+/// refusing the word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchStallCause {
+    /// Source FIFO has no visible word.
+    FifoEmpty,
+    /// A destination FIFO (processor input or neighbor link) is full.
+    FifoFull,
+    /// A bound edge device refused the word this cycle.
+    DeviceBackpressure,
+}
+
+impl SwitchStallCause {
+    pub const COUNT: usize = 3;
+    pub const ALL: [SwitchStallCause; SwitchStallCause::COUNT] = [
+        SwitchStallCause::FifoEmpty,
+        SwitchStallCause::FifoFull,
+        SwitchStallCause::DeviceBackpressure,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SwitchStallCause::FifoEmpty => 0,
+            SwitchStallCause::FifoFull => 1,
+            SwitchStallCause::DeviceBackpressure => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchStallCause::FifoEmpty => "fifo_empty",
+            SwitchStallCause::FifoFull => "fifo_full",
+            SwitchStallCause::DeviceBackpressure => "device_backpressure",
+        }
+    }
+}
+
+/// Receiver for instrumentation events. Every method defaults to a no-op
+/// so [`NullSink`] (and any partial sink) compiles down to empty virtual
+/// calls; implementations override only what they consume.
+pub trait TelemetrySink: Send {
+    /// Stamp `stage` for packet `id` on ingress port `port` at `cycle`.
+    /// Ids are per-port monotone counters assigned at ingress-accept.
+    fn packet_event(&mut self, _cycle: u64, _port: u8, _id: u32, _stage: Stage) {}
+
+    /// Destination port set (bitmask) resolved by the lookup for `(port, id)`.
+    fn packet_dst(&mut self, _port: u8, _id: u32, _dst_mask: u8) {}
+
+    /// Egress-side stamp keyed by `(source port, output port)` — the
+    /// egress tile knows the fragment's source but not the ingress-side
+    /// packet id, so sinks match these to ids by grant order (exact for
+    /// FIFO-queued unicast traffic; best-effort under VOQ/multicast).
+    fn egress_event(&mut self, _cycle: u64, _src_port: u8, _out_port: u8, _stage: Stage) {}
+
+    /// Credit `span` consecutive processor cycles on `tile` in `state`.
+    fn tile_cycles(&mut self, _tile: u16, _state: TileState, _span: u64) {}
+
+    /// Credit `span` consecutive stalled switch cycles on `(tile, net)`
+    /// to `cause`.
+    fn switch_stalls(&mut self, _tile: u16, _net: u8, _cause: SwitchStallCause, _span: u64) {}
+
+    /// Downcast support so a caller can recover its concrete sink after a
+    /// run (e.g. a [`crate::Recorder`] to build a report from).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The disabled sink: every callback is the defaulted no-op.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// How sinks are shared between the machine and the tile programs: the
+/// machine locks once per cycle phase, the programs lock only on the rare
+/// per-packet events.
+pub type SharedSink = Arc<Mutex<dyn TelemetrySink>>;
+
+/// Wrap a concrete sink for attachment. Keep a clone of the returned
+/// handle: after the run, lock it and recover the concrete sink with
+/// `as_any_mut().downcast_mut::<S>()`.
+pub fn shared<S: TelemetrySink + 'static>(sink: S) -> SharedSink {
+    Arc::new(Mutex::new(sink))
+}
+
+/// Is the shared handle a [`NullSink`]? Producers check this once at
+/// attach time and skip publishing entirely — every NullSink callback is
+/// a no-op, so eliding the lock-and-call is observationally identical
+/// and keeps the disabled path at branch cost.
+pub fn is_null(sink: &SharedSink) -> bool {
+    sink.lock()
+        .unwrap()
+        .as_any_mut()
+        .downcast_mut::<NullSink>()
+        .is_some()
+}
+
+/// Run `f` against the concrete sink behind a shared handle. Panics if
+/// the concrete type does not match.
+pub fn with_sink<S: TelemetrySink + 'static, R>(
+    sink: &SharedSink,
+    f: impl FnOnce(&mut S) -> R,
+) -> R {
+    let mut g = sink.lock().unwrap();
+    let s = g
+        .as_any_mut()
+        .downcast_mut::<S>()
+        .expect("sink concrete type mismatch");
+    f(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        s.packet_event(1, 0, 0, Stage::IngressAccept);
+        s.tile_cycles(3, TileState::Busy, 10);
+        s.switch_stalls(3, 0, SwitchStallCause::FifoEmpty, 2);
+        assert!(s.as_any_mut().is::<NullSink>());
+    }
+
+    #[test]
+    fn state_indices_are_a_permutation() {
+        let mut seen = [false; TileState::COUNT];
+        for s in TileState::ALL {
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = [false; SwitchStallCause::COUNT];
+        for c in SwitchStallCause::ALL {
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn shared_roundtrip() {
+        let h = shared(NullSink);
+        h.lock().unwrap().tile_cycles(0, TileState::Idle, 1);
+        with_sink::<NullSink, _>(&h, |s| {
+            s.tile_cycles(1, TileState::Busy, 1);
+        });
+    }
+}

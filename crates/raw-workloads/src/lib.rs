@@ -28,6 +28,17 @@ pub enum Pattern {
     /// Uniform, but each source switches destination only every `burst`
     /// packets (bursty flows).
     Bursty { burst: u32 },
+    /// Internet-mix sizes: uniform destinations, but packet sizes drawn
+    /// 7:4:1 from {64, 576, 1500} bytes (the classic IMIX), overriding
+    /// [`Workload::packet_bytes`]. 1500-byte packets exceed the 256-word
+    /// cut-through quantum, so router runs need store-and-forward.
+    Imix,
+    /// Zipf-distributed destinations: port `p` is drawn with probability
+    /// proportional to `1/(p+1)^s`, `s = s_milli / 1000`. `s_milli = 0`
+    /// is uniform; larger values concentrate traffic on port 0 — a
+    /// tunable hotspot between [`Pattern::Uniform`] and
+    /// [`Pattern::Hotspot`].
+    ZipfHotspot { s_milli: u32 },
 }
 
 /// Packet arrival process per input port.
@@ -123,18 +134,45 @@ pub mod raw_net_compat {
     }
 }
 
+/// The IMIX size classes and their 7:4:1 draw weights.
+pub const IMIX_SIZES: [usize; 3] = [64, 576, 1500];
+pub const IMIX_WEIGHTS: [u32; 3] = [7, 4, 1];
+
+/// Cumulative Zipf distribution over the output ports for exponent
+/// `s = s_milli / 1000`: `cdf[p]` is `P(dst <= p)` scaled to `u32::MAX`.
+fn zipf_cdf(s_milli: u32) -> [u64; NPORTS] {
+    let s = s_milli as f64 / 1000.0;
+    let mut w = [0f64; NPORTS];
+    for (p, wp) in w.iter_mut().enumerate() {
+        *wp = 1.0 / ((p + 1) as f64).powf(s);
+    }
+    let total: f64 = w.iter().sum();
+    let mut cdf = [0u64; NPORTS];
+    let mut acc = 0.0;
+    for (p, wp) in w.iter().enumerate() {
+        acc += wp;
+        cdf[p] = (acc / total * u32::MAX as f64) as u64;
+    }
+    cdf[NPORTS - 1] = u32::MAX as u64;
+    cdf
+}
+
 /// Generate the full packet schedule for a workload.
 pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
     let mut rng = StdRng::seed_from_u64(w.seed);
     let mut out = Vec::with_capacity(w.packets_per_port * NPORTS);
     let mut burst_state = [(0u8, 0u32); NPORTS]; // (dst, remaining)
+    let zipf = match w.pattern {
+        Pattern::ZipfHotspot { s_milli } => Some(zipf_cdf(s_milli)),
+        _ => None,
+    };
     #[allow(clippy::needless_range_loop)]
     for src in 0..NPORTS {
         let mut release = 0u64;
         for k in 0..w.packets_per_port {
             let dst = match w.pattern {
                 Pattern::Permutation { shift } => ((src as u8) + shift) % NPORTS as u8,
-                Pattern::Uniform => rng.gen_range(0..NPORTS as u8),
+                Pattern::Uniform | Pattern::Imix => rng.gen_range(0..NPORTS as u8),
                 Pattern::Hotspot { dst } => dst,
                 Pattern::Bursty { burst } => {
                     let (d, left) = &mut burst_state[src];
@@ -145,6 +183,27 @@ pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
                     *left -= 1;
                     *d
                 }
+                Pattern::ZipfHotspot { .. } => {
+                    let cdf = zipf.as_ref().unwrap();
+                    let u = rng.gen::<u32>() as u64;
+                    cdf.iter().position(|&c| u <= c).unwrap() as u8
+                }
+            };
+            let bytes = match w.pattern {
+                Pattern::Imix => {
+                    let total: u32 = IMIX_WEIGHTS.iter().sum();
+                    let mut r = rng.gen_range(0..total);
+                    let mut size = IMIX_SIZES[0];
+                    for (sz, &wt) in IMIX_SIZES.iter().zip(&IMIX_WEIGHTS) {
+                        if r < wt {
+                            size = *sz;
+                            break;
+                        }
+                        r -= wt;
+                    }
+                    size
+                }
+                _ => w.packet_bytes,
             };
             release = match w.arrivals {
                 Arrivals::Saturation => 0,
@@ -166,7 +225,7 @@ pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
             let mut p = Packet::synthetic(
                 src_addr(src as u8),
                 addr_for_port(dst),
-                w.packet_bytes,
+                bytes,
                 w.ttl,
                 (src as u32) << 16 | k as u32,
             );
@@ -188,7 +247,10 @@ pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
 pub fn expected_per_output(sched: &[ScheduledPacket]) -> [usize; NPORTS] {
     let mut out = [0usize; NPORTS];
     for s in sched {
-        let dst = ((s.packet.header.dst >> 16) & 0x3) as usize;
+        // The port lives in the second address octet (`10.<p>.0.0/16`);
+        // it must name a real output, not be silently masked into range.
+        let dst = ((s.packet.header.dst >> 16) & 0xff) as usize;
+        assert!(dst < NPORTS, "destination {dst} outside the port space");
         out[dst] += 1;
     }
     out
@@ -288,6 +350,71 @@ mod tests {
                 assert_eq!((w2[1] - w2[0]) % 100, 0);
             }
         }
+    }
+
+    #[test]
+    fn imix_is_deterministic_and_mixes_7_4_1() {
+        let w = Workload {
+            pattern: Pattern::Imix,
+            ..Workload::average(64, 600, 11)
+        };
+        let a = generate(&w);
+        let b = generate(&w);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.release, y.release);
+        }
+        let mut counts = [0usize; 3];
+        for s in &a {
+            let i = IMIX_SIZES
+                .iter()
+                .position(|&sz| sz == s.packet.total_bytes())
+                .expect("IMIX size class");
+            counts[i] += 1;
+        }
+        let total = a.len() as f64;
+        for (i, &wt) in IMIX_WEIGHTS.iter().enumerate() {
+            let expect = wt as f64 / 12.0;
+            let got = counts[i] as f64 / total;
+            assert!(
+                (got - expect).abs() < 0.05,
+                "size {} drew {got:.3} of packets, expected ~{expect:.3}",
+                IMIX_SIZES[i]
+            );
+        }
+        // Destinations stay uniform under the size mix.
+        let per = expected_per_output(&a);
+        assert!(per.iter().all(|&n| n > 400));
+    }
+
+    #[test]
+    fn zipf_hotspot_is_deterministic_and_skews_by_s() {
+        let gen_per = |s_milli: u32| -> [usize; NPORTS] {
+            let w = Workload {
+                pattern: Pattern::ZipfHotspot { s_milli },
+                ..Workload::average(64, 500, 13)
+            };
+            let a = generate(&w);
+            let b = generate(&w);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.packet, y.packet);
+            }
+            expected_per_output(&a)
+        };
+        // s = 0 is uniform.
+        let flat = gen_per(0);
+        assert!(flat.iter().all(|&n| (400..=600).contains(&n)), "{flat:?}");
+        // s = 1 ranks ports 0 > 1 > 2 > 3 with harmonic weights.
+        let skew = gen_per(1000);
+        assert!(
+            skew[0] > skew[1] && skew[1] > skew[2] && skew[2] > skew[3],
+            "{skew:?}"
+        );
+        // Larger s concentrates harder on port 0.
+        let hard = gen_per(2500);
+        assert!(hard[0] > skew[0], "{hard:?} vs {skew:?}");
+        assert_eq!(flat.iter().sum::<usize>(), 2000);
+        assert_eq!(skew.iter().sum::<usize>(), 2000);
     }
 
     #[test]

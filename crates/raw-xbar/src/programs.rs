@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 use raw_lookup::{Engine, ForwardingTable};
 use raw_net::{ComputeOp, FragTag, Ipv4Header, IPV4_HEADER_WORDS};
 use raw_sim::{TileIo, TileProgram, NET0};
+use raw_telemetry::{SharedSink, Stage};
 
 use crate::codegen::{CrossbarCode, EgressCode, IngressCode};
 
@@ -124,6 +125,8 @@ struct VoqPkt {
     seq: u16,
     /// Destination port set for the fragment tags.
     dst_mask: u8,
+    /// Telemetry packet id assigned at ingress-accept.
+    id: u32,
 }
 
 /// Per-destination packet queues in ingress local memory: each output
@@ -291,6 +294,12 @@ pub struct IngressProgram {
     label: String,
     pub stats: Arc<Mutex<IngressStats>>,
     pub events: Option<EventLog>,
+    /// Telemetry sink for per-packet lifecycle stamps (None = no stamps).
+    pub telemetry: Option<SharedSink>,
+    /// Next per-port packet id, handed out at ingress-accept.
+    next_id: u32,
+    /// Id of the packet currently owned by the intake pipeline.
+    cur_id: u32,
 }
 
 impl IngressProgram {
@@ -338,6 +347,9 @@ impl IngressProgram {
                 label: format!("ingress{port}"),
                 stats: Arc::clone(&stats),
                 events: None,
+                telemetry: None,
+                next_id: 0,
+                cur_id: 0,
             },
             stats,
         )
@@ -346,6 +358,16 @@ impl IngressProgram {
     fn ev(&self, cycle: u64, what: &'static str) {
         if let Some(log) = &self.events {
             log.lock().unwrap().push((cycle, self.port, what));
+        }
+    }
+
+    /// Record a per-packet lifecycle stamp when a telemetry sink is
+    /// attached; a single branch otherwise.
+    fn stamp(&self, cycle: u64, id: u32, stage: Stage) {
+        if let Some(sink) = &self.telemetry {
+            sink.lock()
+                .unwrap()
+                .packet_event(cycle, self.port, id, stage);
         }
     }
 
@@ -439,6 +461,9 @@ impl IngressProgram {
                 self.hdr_words[0] = w;
                 self.intake = Intake::NeedHdr { have: 1 };
                 self.stats.lock().unwrap().packets_started += 1;
+                self.cur_id = self.next_id;
+                self.next_id = self.next_id.wrapping_add(1);
+                self.stamp(self.now, self.cur_id, Stage::IngressAccept);
             }
             Intake::NeedHdr { have } => {
                 self.hdr_words[*have] = w;
@@ -474,6 +499,7 @@ impl IngressProgram {
                         streamed: 0,
                         seq: self.seq % raw_net::frag::SEQ_MODULUS,
                         dst_mask: c.dst_mask.expect("routed before buffering"),
+                        id: self.cur_id,
                     };
                     self.seq = self.seq.wrapping_add(1);
                     let dst = (pkt.dst_mask.trailing_zeros() as usize) % NPORTS;
@@ -571,6 +597,7 @@ impl IngressProgram {
                     debug_assert!(ok);
                     if *stage == 0 {
                         *stage = 1;
+                        self.stamp(io.cycle, self.cur_id, Stage::LookupIssue);
                     } else {
                         self.intake = Intake::LookupWait { stage: 0 };
                     }
@@ -586,10 +613,16 @@ impl IngressProgram {
                 } else {
                     self.ev(io.cycle, "lookup-done");
                     let c = self.cur.as_mut().expect("lookup for a packet");
-                    c.dst_mask = Some(match raw_lookup::decode_hop(w) {
+                    let mask = match raw_lookup::decode_hop(w) {
                         raw_lookup::Hop::Unicast(p) => 1 << (p & 0x3),
                         raw_lookup::Hop::Multicast(m) => m & 0xf,
-                    });
+                    };
+                    c.dst_mask = Some(mask);
+                    if let Some(sink) = &self.telemetry {
+                        let mut g = sink.lock().unwrap();
+                        g.packet_event(io.cycle, self.port, self.cur_id, Stage::LookupComplete);
+                        g.packet_dst(self.port, self.cur_id, mask);
+                    }
                     if self.queueing == IngressQueueing::Voq {
                         self.intake = Intake::AllocVoq;
                     } else {
@@ -637,6 +670,7 @@ impl IngressProgram {
                                 streamed: 0,
                                 seq: self.seq % raw_net::frag::SEQ_MODULUS,
                                 dst_mask: c.dst_mask.expect("routed"),
+                                id: self.cur_id,
                             };
                             self.seq = self.seq.wrapping_add(1);
                             let dst = (pkt.dst_mask.trailing_zeros() as usize) % NPORTS;
@@ -862,6 +896,17 @@ impl TileProgram for IngressProgram {
                     drop(s);
                     if granted {
                         self.ev(io.cycle, "granted");
+                        if self.telemetry.is_some() {
+                            // The granted packet: the served VOQ head, or
+                            // the single in-flight FIFO packet.
+                            let id = match &self.pending_tag {
+                                Some((_, _, Some(q))) => self.voq.queues[*q].front().map(|p| p.id),
+                                _ => Some(self.cur_id),
+                            };
+                            if let Some(id) = id {
+                                self.stamp(io.cycle, id, Stage::CrossbarGrant);
+                            }
+                        }
                         self.drive = Drive::StartStream;
                     } else {
                         self.ev(io.cycle, "denied");
@@ -869,6 +914,9 @@ impl TileProgram for IngressProgram {
                         self.drive = Drive::Idle;
                     }
                 } else if !self.proc_step(io) {
+                    // Waiting for the crossbar's grant word: this is the
+                    // arbitration (token) wait, not plain idleness.
+                    io.hint_token_wait();
                     io.idle();
                 }
             }
@@ -1354,6 +1402,7 @@ struct SrcAssembly {
 }
 
 pub struct EgressProgram {
+    port: u8,
     mode: EgressMode,
     quantum: usize,
     cut_pc: usize,
@@ -1363,6 +1412,8 @@ pub struct EgressProgram {
     asm: [SrcAssembly; NPORTS],
     label: String,
     pub stats: Arc<Mutex<EgressStats>>,
+    /// Telemetry sink for first/last-word egress stamps.
+    pub telemetry: Option<SharedSink>,
 }
 
 impl EgressProgram {
@@ -1375,6 +1426,7 @@ impl EgressProgram {
         let stats = Arc::new(Mutex::new(EgressStats::default()));
         (
             EgressProgram {
+                port,
                 mode,
                 quantum,
                 cut_pc: code.cut_pc,
@@ -1387,6 +1439,7 @@ impl EgressProgram {
                 }),
                 label: format!("egress{port}"),
                 stats: Arc::clone(&stats),
+                telemetry: None,
             },
             stats,
         )
@@ -1394,6 +1447,15 @@ impl EgressProgram {
 
     fn buf_addr(src: usize, i: usize) -> u32 {
         EG_BUF_BASE + src as u32 * EG_BUF_STRIDE + i as u32
+    }
+
+    /// Record an egress-side lifecycle stamp for `src_port`'s packet.
+    fn stamp(&self, cycle: u64, src_port: u8, stage: Stage) {
+        if let Some(sink) = &self.telemetry {
+            sink.lock()
+                .unwrap()
+                .egress_event(cycle, src_port, self.port, stage);
+        }
     }
 }
 
@@ -1439,6 +1501,12 @@ impl TileProgram for EgressProgram {
                         a.expect_seq = Some(tag.seq);
                     }
                     self.tag = Some(tag);
+                    if self.mode == EgressMode::CutThrough && tag.first {
+                        // The switch streams the body straight to the line
+                        // card behind this tag: the first payload word is
+                        // leaving now.
+                        self.stamp(io.cycle, tag.src_port, Stage::FirstWordEgress);
+                    }
                     self.st = match self.mode {
                         EgressMode::CutThrough => EgSt::WaitHalt,
                         EgressMode::StoreForward => EgSt::RecvWord { j: 0 },
@@ -1447,6 +1515,11 @@ impl TileProgram for EgressProgram {
             }
             EgSt::WaitHalt => {
                 if io.switch_halted(NET0) {
+                    if let Some(tag) = self.tag.take() {
+                        if tag.last {
+                            self.stamp(io.cycle, tag.src_port, Stage::LastWordEgress);
+                        }
+                    }
                     self.st = EgSt::Swpc;
                     self.tick(io);
                 } else {
@@ -1500,8 +1573,14 @@ impl TileProgram for EgressProgram {
                     return;
                 }
                 if io.load_send(Self::buf_addr(s, ii)) {
-                    self.stats.lock().unwrap().words_streamed_out += 1;
                     *i = ii + 1;
+                    self.stats.lock().unwrap().words_streamed_out += 1;
+                    if ii == 0 {
+                        self.stamp(io.cycle, s as u8, Stage::FirstWordEgress);
+                    }
+                    if ii + 1 == l {
+                        self.stamp(io.cycle, s as u8, Stage::LastWordEgress);
+                    }
                 }
             }
         }

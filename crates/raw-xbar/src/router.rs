@@ -121,10 +121,35 @@ impl RawRouter {
         }
     }
 
+    /// [`RawRouter::new`] with a telemetry sink attached (panicking
+    /// constructor for tests and harnesses).
+    pub fn new_with_telemetry(
+        cfg: RouterConfig,
+        table: Arc<ForwardingTable>,
+        telemetry: raw_telemetry::SharedSink,
+    ) -> RawRouter {
+        match RawRouter::try_new_with_telemetry(cfg, table, Some(telemetry)) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Build the router, validating the configuration and every generated
     /// switch program ([`raw_sim::SwitchProgram::validate`]) at the
     /// codegen boundary instead of relying on downstream assertions.
     pub fn try_new(cfg: RouterConfig, table: Arc<ForwardingTable>) -> Result<RawRouter, String> {
+        RawRouter::try_new_with_telemetry(cfg, table, None)
+    }
+
+    /// [`RawRouter::try_new`] with a telemetry sink threaded through the
+    /// machine (tile-state and switch-stall attribution) and the
+    /// ingress/egress programs (packet lifecycle stamps). `RouterConfig`
+    /// stays `Clone + Debug`, so the sink is a separate argument.
+    pub fn try_new_with_telemetry(
+        cfg: RouterConfig,
+        table: Arc<ForwardingTable>,
+        telemetry: Option<raw_telemetry::SharedSink>,
+    ) -> Result<RawRouter, String> {
         if !(1..=raw_net::MAX_FRAG_WORDS).contains(&cfg.quantum_words) {
             return Err(format!(
                 "quantum of {} words must fit the fragment tag's word-count field (1..={})",
@@ -141,6 +166,13 @@ impl RawRouter {
         }
         let layout = RouterLayout::canonical();
         let mut machine = RawMachine::new(cfg.raw.clone());
+        if let Some(sink) = &telemetry {
+            machine.set_telemetry(Arc::clone(sink));
+        }
+        // A NullSink receives no-ops only; don't thread it into the
+        // per-packet program stamps (the machine keeps the handle so
+        // `take_telemetry` still returns it).
+        let telemetry = telemetry.filter(|s| !raw_telemetry::is_null(s));
         if cfg.asm_crossbar && !cfg.weights.iter().all(|&w| w == 1) {
             return Err("the assembly crossbar uses a plain modulo-4 token".into());
         }
@@ -184,6 +216,7 @@ impl RawRouter {
             if cfg.debug_events {
                 ig.events = Some(Arc::clone(&events));
             }
+            ig.telemetry = telemetry.clone();
             machine.set_program(p.ingress, Box::new(ig));
             ig_stats.push(igs);
             let in_port = EdgePort::new(p.ingress, p.in_edge, NET0);
@@ -253,7 +286,8 @@ impl RawRouter {
             } else {
                 EgressMode::StoreForward
             };
-            let (eg, egs) = EgressProgram::new(port, &eg_code, cfg.quantum_words, mode);
+            let (mut eg, egs) = EgressProgram::new(port, &eg_code, cfg.quantum_words, mode);
+            eg.telemetry = telemetry.clone();
             machine.set_program(p.egress, Box::new(eg));
             eg_stats.push(egs);
             let (framing, out_port) = if cfg.cut_through {

@@ -114,6 +114,20 @@ impl<'de> Deserialize<'de> for bool {
     }
 }
 
+// Identity impls so callers can work with the self-describing tree
+// directly (e.g. validating generated JSON documents).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
