@@ -486,6 +486,83 @@ fn run_telemetry() {
     );
 }
 
+fn run_chaos() {
+    // `repro -- chaos [cycles]`: a smaller span makes a smoke test (CI);
+    // the default matches the Figure 7-1 measurement span.
+    let cycles = match std::env::args().nth(2) {
+        None => 220_000,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("chaos: '{s}' is not a cycle count")),
+    };
+    println!("== chaos: reference fault plan, graceful degradation soak ({cycles} cycles) ==");
+    let rep = chaos_report(cycles);
+    println!(
+        "plan: seed {:#06x}, header corruption {}ppm, lookup misses {}ppm (+{} cycles), \
+         {} tile stall windows of {} cycles",
+        rep.plan.seed,
+        rep.plan.header_flip_ppm,
+        rep.plan.lookup_miss_ppm,
+        rep.plan.lookup_penalty_cycles,
+        rep.plan.tile_stalls.len(),
+        rep.plan.tile_stalls.first().map_or(0, |s| s.len),
+    );
+    let rows: Vec<Vec<String>> = rep
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.offered.to_string(),
+                r.delivered.to_string(),
+                r.dropped.to_string(),
+                r.lookup_misses.to_string(),
+                r.latency_p50.to_string(),
+                r.latency_p99.to_string(),
+                r.fingerprint.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario",
+                "offered",
+                "delivered",
+                "dropped",
+                "lk-miss",
+                "lat p50",
+                "lat p99",
+                "fingerprint"
+            ],
+            &rows
+        )
+    );
+    for r in &rep.runs {
+        let buckets: Vec<String> = r
+            .drops
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        println!("{:>18} drops: {}", r.name, buckets.join(" "));
+        assert_eq!(r.delivered + r.dropped, r.offered, "accounting must close");
+        assert_eq!(r.flow_order_violations, 0, "flows must stay ordered");
+    }
+    println!(
+        "zero-rate plan vs unwrapped router: {}",
+        if rep.zero_plan_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    assert!(rep.zero_plan_identical);
+    write_json(&results_dir(), "chaos", &rep).unwrap();
+    println!("wrote results/chaos.json (two runs per scenario, fingerprints verified equal)");
+}
+
 fn run_verify() {
     println!("== static verification: conflict / lockstep / deadlock / jump-table ==");
     let report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
@@ -565,13 +642,14 @@ fn main() {
     run("latency", &run_latency);
     run("simspeed", &run_simspeed);
     run("telemetry", &run_telemetry);
+    run("chaos", &run_chaos);
     run("verify", &run_verify);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
              multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
-             simspeed telemetry verify"
+             simspeed telemetry chaos verify"
         );
         std::process::exit(2);
     }

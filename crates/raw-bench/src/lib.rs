@@ -5,11 +5,13 @@
 //! `repro` binary prints in the paper's format and writes to
 //! `results/<exp>.json`.
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod simspeed;
 pub mod telemetry;
 
+pub use chaos::*;
 pub use experiments::*;
 pub use report::*;
 pub use simspeed::*;

@@ -1,0 +1,247 @@
+//! The adversarial battery: random fault campaigns against the full
+//! router, checking graceful degradation (count-and-drop, never panic,
+//! never wedge), flow-order preservation, conservation of every
+//! accounting plane, and bit-identical replay in both engine modes.
+
+use proptest::prelude::*;
+
+use raw_chaos::*;
+use raw_net::{CorruptRng, Packet};
+use raw_sim::{RawConfig, NUM_STATIC_NETS};
+use raw_telemetry::{shared, with_sink, DropReason, Recorder, SharedSink};
+use raw_workloads::{generate, ScheduledPacket, Workload};
+use raw_xbar::{IngressQueueing, RawRouter, RouterConfig, NPORTS};
+
+/// VOQ ingress (so truncation faults are legal) on the 64-byte quantum.
+fn voq_cfg(fast_forward: bool) -> RouterConfig {
+    RouterConfig {
+        quantum_words: 16,
+        cut_through: true,
+        queueing: IngressQueueing::Voq,
+        raw: RawConfig {
+            fast_forward,
+            ..RawConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// Derive a full random-but-valid [`FaultPlan`] from one seed, so the
+/// proptest signature stays one draw and the plan replays exactly.
+fn random_plan(seed: u64) -> FaultPlan {
+    let mut r = CorruptRng::new(seed ^ 0x7b5e_55ed);
+    let mut plan = FaultPlan::zero(r.next_u64());
+    plan.header_flip_ppm = r.below(60_000);
+    plan.payload_flip_ppm = r.below(60_000);
+    plan.bad_checksum_ppm = r.below(60_000);
+    plan.ttl_expire_ppm = r.below(60_000);
+    plan.bad_version_ppm = r.below(60_000);
+    plan.bad_ihl_ppm = r.below(60_000);
+    plan.truncate_ppm = r.below(60_000);
+    plan.lookup_miss_ppm = r.below(40_000);
+    plan.lookup_penalty_cycles = r.below(64);
+    for _ in 0..r.below(4) {
+        plan.tile_stalls.push(StallSpec {
+            port: r.below(4) as usize,
+            element: r.below(4) as u8,
+            start: 200 + u64::from(r.below(4_000)),
+            len: 1 + u64::from(r.below(700)),
+        });
+    }
+    if r.chance_ppm(500_000) {
+        plan.input_pauses.push(WindowSpec {
+            port: r.below(4) as usize,
+            start: u64::from(r.below(4_000)),
+            len: 1 + u64::from(r.below(500)),
+        });
+    }
+    if r.chance_ppm(500_000) {
+        plan.output_stalls.push(WindowSpec {
+            port: r.below(4) as usize,
+            start: u64::from(r.below(4_000)),
+            len: 1 + u64::from(r.below(300)),
+        });
+    }
+    plan
+}
+
+/// Run a chaos campaign and return the full delivered streams alongside
+/// the fingerprint (for byte-level comparisons).
+fn chaos_streams(
+    cfg: RouterConfig,
+    plan: &FaultPlan,
+    sched: &[ScheduledPacket],
+) -> (u64, Vec<Vec<(u64, Packet)>>) {
+    let sink: SharedSink = shared(Recorder::new(16, NUM_STATIC_NETS));
+    let mut cr = ChaosRouter::try_new(cfg, chaos_table(), plan.clone(), Some(sink)).unwrap();
+    for sp in sched {
+        cr.offer(sp.port, sp.release, &sp.packet);
+    }
+    assert!(cr.router.run_until_drained(4_000_000), "wedged");
+    let streams = (0..NPORTS).map(|p| cr.router.delivered(p)).collect();
+    (fingerprint(&cr.router), streams)
+}
+
+/// The unwrapped baseline with the identical telemetry arrangement.
+fn plain_streams(cfg: RouterConfig, sched: &[ScheduledPacket]) -> (u64, Vec<Vec<(u64, Packet)>>) {
+    let sink: SharedSink = shared(Recorder::new(16, NUM_STATIC_NETS));
+    let mut r = RawRouter::new_with_telemetry(cfg, chaos_table(), sink);
+    for sp in sched {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    assert!(r.run_until_drained(4_000_000), "wedged");
+    let streams = (0..NPORTS).map(|p| r.delivered(p)).collect();
+    (fingerprint(&r), streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random fault plan over uniform traffic: accounting closes
+    /// (`delivered + dropped == offered`), every drop lands in exactly
+    /// one classified bucket mirrored by telemetry, no corrupt packet
+    /// leaks through the fabric, per-tile cycle conservation holds, and
+    /// surviving packets are never reordered within a flow.
+    #[test]
+    fn random_fault_plans_degrade_gracefully(
+        seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+    ) {
+        let plan = random_plan(seed);
+        let sched = generate(&Workload::average(64, 40, wl_seed));
+        let res = run_chaos(voq_cfg(true), chaos_table(), &plan, &sched, 4_000_000).unwrap();
+        prop_assert!(res.errors.is_empty(), "plan seed {seed:#x}: {:?}", res.errors);
+        prop_assert!(res.drained, "plan seed {seed:#x} wedged");
+        prop_assert_eq!(res.offered, sched.len() as u64);
+        prop_assert_eq!(
+            res.flow_order_violations, 0,
+            "plan seed {:#x} reordered a flow", seed
+        );
+        prop_assert_eq!(res.dropped, res.injected.expected_drops());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The same plan and traffic replay bit-identically: per-cycle and
+    /// event-skip engines, and repeated runs of each, all agree on the
+    /// exact delivered words, arrival cycles, drop counters, and final
+    /// cycle count.
+    #[test]
+    fn same_seed_reruns_are_bit_identical_in_both_engine_modes(
+        seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+    ) {
+        let plan = random_plan(seed);
+        let sched = generate(&Workload::average(64, 30, wl_seed));
+        let (ff_a, ff_streams) = chaos_streams(voq_cfg(true), &plan, &sched);
+        let (ff_b, _) = chaos_streams(voq_cfg(true), &plan, &sched);
+        let (pc, pc_streams) = chaos_streams(voq_cfg(false), &plan, &sched);
+        prop_assert_eq!(ff_a, ff_b, "fast-forward rerun diverged (seed {:#x})", seed);
+        prop_assert_eq!(ff_a, pc, "engine modes diverged (seed {:#x})", seed);
+        prop_assert_eq!(ff_streams, pc_streams);
+    }
+}
+
+/// Satellite: a zero-rate plan is a no-op wrapper — byte-identical
+/// delivered streams versus the unwrapped router on the fig7-1 peak and
+/// average workloads, in both engine modes.
+#[test]
+fn zero_rate_plan_is_byte_identical_to_unwrapped_router() {
+    let peak = generate(&Workload::peak(64, 60));
+    let avg = generate(&Workload::average(64, 60, 42));
+    for (name, sched) in [("fig7-1-peak", &peak), ("fig7-1-avg", &avg)] {
+        for ff in [true, false] {
+            let plan = FaultPlan::zero(0xC4A0);
+            let (cf, cs) = chaos_streams(voq_cfg(ff), &plan, sched);
+            let (pf, ps) = plain_streams(voq_cfg(ff), sched);
+            assert_eq!(cs, ps, "{name} ff={ff}: delivered streams differ");
+            assert_eq!(cf, pf, "{name} ff={ff}: fingerprints differ");
+        }
+    }
+}
+
+/// Acceptance: the reference plan (seed 0xC4A0, 1% header corruption,
+/// one 500-cycle stall window per tile, 0.5% lookup misses) completes
+/// the fig7-1 peak workload at both packet-size corners with full
+/// accounting, and replays identically.
+#[test]
+fn reference_plan_completes_fig7_1_peak_at_both_corners() {
+    for bytes in [64usize, 1024] {
+        let quantum = (bytes / 4).min(256);
+        let cfg = || RouterConfig {
+            quantum_words: quantum,
+            cut_through: bytes / 4 <= 256,
+            ..RouterConfig::default()
+        };
+        let packets = if bytes == 64 { 200 } else { 40 };
+        let sched = generate(&Workload::peak(bytes, packets));
+        let plan = FaultPlan::reference();
+        let run = || run_chaos(cfg(), chaos_table(), &plan, &sched, 8_000_000).unwrap();
+        let a = run();
+        assert!(a.errors.is_empty(), "{bytes}B: {:?}", a.errors);
+        assert!(a.drained, "{bytes}B: reference plan wedged the router");
+        assert_eq!(a.delivered + a.dropped, a.offered);
+        assert_eq!(a.flow_order_violations, 0);
+        let b = run();
+        assert_eq!(a.fingerprint, b.fingerprint, "{bytes}B: rerun diverged");
+        assert_eq!(a.drops, b.drops);
+    }
+}
+
+/// Satellite: seeded mutants of the drop accounting. Breaking any one
+/// [`DropReason`] counter — in either direction, with or without a
+/// sympathetic total bump, or on the telemetry mirror — must trip the
+/// conservation check. This is what makes the invariant trustworthy.
+#[test]
+fn broken_drop_counters_are_caught_by_conservation() {
+    let sched = generate(&Workload::peak(64, 10));
+    for i in 0..DropReason::COUNT {
+        let sink: SharedSink = shared(Recorder::new(16, NUM_STATIC_NETS));
+        let mut r = RawRouter::new_with_telemetry(voq_cfg(true), chaos_table(), sink.clone());
+        for sp in &sched {
+            r.offer(sp.port, sp.release, &sp.packet);
+        }
+        assert!(r.run_until_drained(1_000_000));
+        let errs = |r: &RawRouter, sink: &SharedSink| {
+            with_sink::<Recorder, _>(sink, |rec| conservation_errors(r, Some(rec)))
+        };
+        assert!(errs(&r, &sink).is_empty(), "clean run must conserve");
+
+        // Mutant A: a classified bucket bumped without the total.
+        let port = i % NPORTS;
+        r.ig_stats[port].lock().unwrap().drops[i] += 1;
+        let found = errs(&r, &sink);
+        assert!(
+            found.iter().any(|e| e.contains("classified drop sum")),
+            "mutant A on bucket {i} escaped: {found:?}"
+        );
+
+        // Mutant B: the total bumped in sympathy — the per-port sums now
+        // agree, but offered-conservation and the telemetry mirror break.
+        r.ig_stats[port].lock().unwrap().packets_dropped += 1;
+        let found = errs(&r, &sink);
+        assert!(
+            found.iter().any(|e| e.contains("offered")),
+            "mutant B on bucket {i} escaped offered-conservation: {found:?}"
+        );
+        assert!(
+            found.iter().any(|e| e.contains("telemetry")),
+            "mutant B on bucket {i} escaped the telemetry mirror: {found:?}"
+        );
+
+        // Mutant C: a spurious drop event on the telemetry side only.
+        r.ig_stats[port].lock().unwrap().drops[i] -= 1;
+        r.ig_stats[port].lock().unwrap().packets_dropped -= 1;
+        assert!(errs(&r, &sink).is_empty(), "mutants must revert cleanly");
+        sink.lock()
+            .unwrap()
+            .packet_drop(0, port as u8, DropReason::ALL[i]);
+        let found = errs(&r, &sink);
+        assert!(
+            found.iter().any(|e| e.contains("telemetry")),
+            "mutant C on bucket {i} escaped: {found:?}"
+        );
+    }
+}

@@ -160,14 +160,39 @@ pub enum ReasmError {
     UnexpectedFirst,
     /// The fragment's declared word count disagrees with its payload.
     LengthMismatch,
+    /// The accumulated payload disagrees with the total length the IP
+    /// header in the first fragment claimed — a duplicated, missing, or
+    /// mis-sized fragment. The partial packet is discarded.
+    PayloadLengthMismatch { expected: usize, got: usize },
+}
+
+/// Expected whole-packet word count, derived from the IPv4 header at the
+/// front of a first fragment's payload. `None` when the payload does not
+/// start with a plausible option-less IPv4 header (the reassembler also
+/// carries opaque word streams in unit tests).
+fn expected_packet_words(first_words: &[u32]) -> Option<usize> {
+    let w0 = *first_words.first()?;
+    if w0 >> 24 != 0x45 {
+        return None;
+    }
+    let total_len = (w0 & 0xffff) as usize;
+    if total_len < 20 {
+        return None;
+    }
+    Some(5 + (total_len - 20).div_ceil(4))
 }
 
 /// Per-(egress, source-port) reassembler: fragments from one source
 /// arrive in order over the crossbar (the fabric preserves per-flow
-/// order), so reassembly is a simple accumulation.
+/// order), so reassembly is a simple accumulation. When the first
+/// fragment carries an IPv4 header, the header's total length bounds the
+/// accumulation — duplicated or missing fragments surface as
+/// [`ReasmError::PayloadLengthMismatch`] instead of a corrupt packet.
 #[derive(Clone, Debug, Default)]
 pub struct Reassembler {
     in_progress: Option<(u16, Vec<u32>)>,
+    /// Word count the in-progress packet must reach, when known.
+    expected: Option<usize>,
     /// Completed packets count (for statistics).
     pub completed: u64,
 }
@@ -187,6 +212,7 @@ impl Reassembler {
             (Some(_), true) => return Err(ReasmError::UnexpectedFirst),
             (None, false) => return Err(ReasmError::NoPacketInProgress),
             (None, true) => {
+                self.expected = expected_packet_words(&frag.words);
                 self.in_progress = Some((frag.tag.seq, frag.words.clone()));
             }
             (Some((seq, buf)), false) => {
@@ -199,8 +225,19 @@ impl Reassembler {
                 buf.extend_from_slice(&frag.words);
             }
         }
+        let got = self.in_progress.as_ref().map_or(0, |(_, buf)| buf.len());
+        if let Some(expected) = self.expected {
+            // Overshoot (duplicated fragment) is detectable immediately;
+            // undershoot (missing fragment) only once `last` arrives.
+            if got > expected || (frag.tag.last && got != expected) {
+                self.in_progress = None;
+                self.expected = None;
+                return Err(ReasmError::PayloadLengthMismatch { expected, got });
+            }
+        }
         if frag.tag.last {
             let (_, words) = self.in_progress.take().expect("just inserted");
+            self.expected = None;
             self.completed += 1;
             Ok(Some(words))
         } else {
@@ -308,6 +345,45 @@ mod tests {
         let mut short = frags[1].clone();
         short.words.pop();
         assert_eq!(r.push(&short), Err(ReasmError::LengthMismatch));
+    }
+
+    #[test]
+    fn header_length_check_catches_duplicate_and_missing_fragments() {
+        use crate::packet::Packet;
+        let p = Packet::synthetic(1, 2, 512, 64, 11);
+        let frags = fragment(&p.to_words(), 0, 1, 3, 32, ComputeOp::None);
+        assert!(frags.len() >= 4, "want a multi-fragment packet");
+
+        // Duplicated middle fragment: the stream overshoots the header's
+        // claimed length by the time `last` arrives, never yielding a
+        // corrupt packet.
+        let mut r = Reassembler::new();
+        let mut caught = false;
+        for f in frags[..2].iter().chain(&frags[1..]) {
+            match r.push(f) {
+                Ok(done) => assert!(done.is_none(), "corrupt packet delivered"),
+                Err(e) => {
+                    assert!(matches!(e, ReasmError::PayloadLengthMismatch { .. }));
+                    caught = true;
+                    break;
+                }
+            }
+        }
+        assert!(caught, "duplicate fragment went unnoticed");
+        assert!(!r.is_mid_packet(), "bad accumulation must be discarded");
+
+        // Missing middle fragment: caught when `last` arrives short.
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(&frags[0]), Ok(None));
+        for f in &frags[2..] {
+            let got = r.push(f);
+            if f.tag.last {
+                assert!(matches!(got, Err(ReasmError::PayloadLengthMismatch { .. })));
+            } else {
+                assert_eq!(got, Ok(None));
+            }
+        }
+        assert!(!r.is_mid_packet());
     }
 
     #[test]

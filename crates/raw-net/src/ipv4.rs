@@ -68,6 +68,11 @@ impl Ipv4Header {
     }
 
     /// Parse and fully validate (version, IHL, checksum, total length).
+    ///
+    /// Every slice index is bounds-checked against the buffer *before* it
+    /// is taken — in particular a header whose IHL claims more bytes than
+    /// the buffer holds is an [`IpError::Truncated`] error, never a
+    /// slice-index panic.
     pub fn parse(b: &[u8]) -> Result<Ipv4Header, IpError> {
         if b.len() < IPV4_HEADER_BYTES {
             return Err(IpError::Truncated);
@@ -77,6 +82,15 @@ impl Ipv4Header {
             return Err(IpError::BadVersion(version));
         }
         let ihl = b[0] & 0xf;
+        if ihl < 5 {
+            return Err(IpError::BadIhl(ihl));
+        }
+        // The header claims `ihl * 4` bytes; a shorter buffer is a
+        // truncation, whatever the IHL value.
+        if b.len() < ihl as usize * 4 {
+            return Err(IpError::Truncated);
+        }
+        // Options (IHL > 5) are unsupported on the fast path.
         if ihl != 5 {
             return Err(IpError::BadIhl(ihl));
         }
@@ -242,10 +256,35 @@ mod tests {
         let mut b = h.to_bytes();
         b[0] = 0x65; // IPv6 version nibble
         assert!(matches!(Ipv4Header::parse(&b), Err(IpError::BadVersion(6))));
-        let mut b = h.to_bytes();
-        b[0] = 0x46; // IHL 6 (options) unsupported on the fast path
+        let mut b = h.to_bytes().to_vec();
+        b[0] = 0x46; // IHL 6 claims 24 bytes
+        assert_eq!(Ipv4Header::parse(&b), Err(IpError::Truncated));
+        b.extend_from_slice(&[0; 4]); // now the options fit, but are unsupported
         assert!(matches!(Ipv4Header::parse(&b), Err(IpError::BadIhl(6))));
+        let mut b = h.to_bytes();
+        b[0] = 0x44; // IHL below the minimum
+        assert!(matches!(Ipv4Header::parse(&b), Err(IpError::BadIhl(4))));
         assert_eq!(Ipv4Header::parse(&b[..10]), Err(IpError::Truncated));
+    }
+
+    #[test]
+    fn parse_never_panics_on_truncated_header_corpus() {
+        // Every prefix of a valid header, and of headers claiming larger
+        // IHLs, must parse to a clean error — never a slice-index panic.
+        let h = hdr();
+        for ihl in 5u8..=15 {
+            let mut full = h.to_bytes().to_vec();
+            full[0] = 0x40 | ihl;
+            full.resize(ihl as usize * 4, 0);
+            for len in 0..full.len() {
+                let got = Ipv4Header::parse(&full[..len]);
+                assert_eq!(
+                    got,
+                    Err(IpError::Truncated),
+                    "ihl {ihl} truncated to {len} bytes"
+                );
+            }
+        }
     }
 
     #[test]

@@ -106,3 +106,170 @@ proptest! {
         prop_assert_eq!(t.pack() >> 31, 0, "bit 31 reserved clear");
     }
 }
+
+// === Adversarial reassembly campaign ===
+//
+// The fabric preserves per-flow fragment order, but the reassembler must
+// survive anything an adversarial (or faulty) stream throws at it:
+// duplicated, missing, displaced, and cross-packet fragments. The
+// guarantees checked here: `push` never panics, a completed packet with
+// an IPv4-headed first fragment always has exactly the length its header
+// claims, and every detectable mutation class surfaces as a `ReasmError`
+// instead of a corrupt packet.
+
+/// Outcome of feeding a whole fragment stream.
+struct Fed {
+    completions: Vec<Vec<u32>>,
+    errors: Vec<ReasmError>,
+}
+
+fn feed(r: &mut Reassembler, stream: &[Fragment]) -> Fed {
+    let mut fed = Fed {
+        completions: Vec::new(),
+        errors: Vec::new(),
+    };
+    for f in stream {
+        match r.push(f) {
+            Ok(Some(w)) => fed.completions.push(w),
+            Ok(None) => {}
+            Err(e) => fed.errors.push(e),
+        }
+    }
+    fed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary garbage fragment streams never panic, and any packet
+    /// completed from an IPv4-headed first fragment has exactly the
+    /// word count the header claims — duplication and loss can only
+    /// surface as errors, never as a mis-sized packet.
+    #[test]
+    fn reassembler_survives_arbitrary_fragment_streams(
+        seed in any::<u64>(),
+        n in 1usize..48,
+    ) {
+        let mut rng = CorruptRng::new(seed);
+        let mut r = Reassembler::new();
+        for _ in 0..n {
+            let claim = rng.below(12) as u16;
+            let actual = if rng.chance_ppm(800_000) {
+                claim as usize
+            } else {
+                rng.below(12) as usize
+            };
+            let frag = Fragment {
+                tag: FragTag {
+                    dst_mask: (rng.below(15) + 1) as u8,
+                    src_port: rng.below(4) as u8,
+                    words: claim,
+                    seq: rng.below(1024) as u16,
+                    first: rng.chance_ppm(400_000),
+                    last: rng.chance_ppm(400_000),
+                    op: ComputeOp::None,
+                },
+                words: (0..actual).map(|_| rng.next_u32()).collect(),
+            };
+            if let Ok(Some(w)) = r.push(&frag) {
+                if let Some(first) = w.first() {
+                    if first >> 24 == 0x45 && (first & 0xffff) >= 20 {
+                        let expect = 5 + ((first & 0xffff) as usize - 20).div_ceil(4);
+                        prop_assert_eq!(
+                            w.len(), expect,
+                            "completed a mis-sized IPv4 packet"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structured mutations of a real packet's fragment stream: each
+    /// detectable class must produce an error and never a corrupt
+    /// completion. The one undetectable class — an interior swap of
+    /// equal-size fragments — still yields the exact claimed length
+    /// (in-fabric order itself is the router's invariant, enforced by
+    /// the egress protocol checker and the chaos battery).
+    #[test]
+    fn mutated_fragment_streams_are_detected_or_exact(
+        bytes in 400usize..1500,
+        quantum in 6usize..33,
+        seed in any::<u32>(),
+        mutation in 0usize..6,
+        pick in any::<u64>(),
+    ) {
+        let p = Packet::synthetic(0x0a0a_0001, 0x0a01_0001, bytes, 64, seed);
+        let words = p.to_words();
+        let frags = fragment(&words, 0, 1, (seed % 1024) as u16, quantum, ComputeOp::None);
+        let n = frags.len();
+        prop_assert!(n >= 4, "need interior fragments for every mutation class");
+        let mut stream = frags.clone();
+        match mutation {
+            0 => {
+                // Duplicate an interior fragment: overshoot.
+                let k = 1 + (pick as usize) % (n - 2);
+                stream.insert(k, frags[k].clone());
+            }
+            1 => {
+                // Drop an interior fragment: undershoot at `last`.
+                let k = 1 + (pick as usize) % (n - 2);
+                stream.remove(k);
+            }
+            2 => {
+                // Drop the first fragment entirely.
+                stream.remove(0);
+            }
+            3 => {
+                // Displace `first` mid-stream (out-of-order delivery).
+                let k = 1 + (pick as usize) % (n - 1);
+                stream.rotate_left(k);
+            }
+            4 => {
+                // Interior adjacent swap: equal sizes, undetectable by
+                // the tag protocol — length must still be exact.
+                let k = 1 + (pick as usize) % (n - 3);
+                stream.swap(k, k + 1);
+            }
+            _ => {
+                // Splice in one fragment of a *different* packet.
+                let other = fragment(
+                    &words,
+                    0,
+                    1,
+                    ((seed % 1024) ^ 1) as u16,
+                    quantum,
+                    ComputeOp::None,
+                );
+                let k = 1 + (pick as usize) % (n - 2);
+                stream.insert(k, other[k].clone());
+            }
+        }
+        let mut r = Reassembler::new();
+        let fed = feed(&mut r, &stream);
+        match mutation {
+            0..=3 => {
+                prop_assert!(!fed.errors.is_empty(), "mutation {mutation} went undetected");
+                prop_assert!(
+                    fed.completions.is_empty(),
+                    "mutation {mutation} completed a packet from a broken stream"
+                );
+            }
+            4 => {
+                prop_assert_eq!(fed.completions.len(), 1);
+                prop_assert_eq!(fed.completions[0].len(), words.len());
+            }
+            _ => {
+                // The foreign fragment is rejected (SeqMismatch) without
+                // poisoning the packet in progress: the original still
+                // reassembles exactly.
+                prop_assert!(fed
+                    .errors
+                    .iter()
+                    .any(|e| matches!(e, ReasmError::SeqMismatch { .. })));
+                prop_assert_eq!(fed.completions.len(), 1);
+                prop_assert_eq!(&fed.completions[0], &words);
+            }
+        }
+    }
+}

@@ -145,6 +145,10 @@ pub struct RawMachine {
     /// The activity each tile recorded on the most recent cycle (the state
     /// a skipped quiet cycle would repeat).
     last_activity: Vec<Activity>,
+    /// Scheduled per-tile stall windows `(start, end)`, sorted by start;
+    /// `step_processors` folds the front window into `stall_until` once
+    /// the cycle reaches it (fault injection: cache-miss storms).
+    stall_windows: Vec<Vec<(u64, u64)>>,
     /// Cycle at which something last made forward progress.
     last_progress: u64,
     /// Words dropped at unbound edge output ports.
@@ -199,6 +203,7 @@ impl RawMachine {
             token_hint: vec![false; n],
             last_switch_cause: vec![[SwitchStallCause::FifoEmpty; NUM_STATIC_NETS]; n],
             last_activity: vec![Activity::Idle; n],
+            stall_windows: vec![Vec::new(); n],
             last_progress: 0,
             edge_drops: 0,
             routes_fired: 0,
@@ -400,6 +405,28 @@ impl RawMachine {
         }
     }
 
+    /// Schedule a forced processor stall on `tile` for the half-open
+    /// cycle window `[start, start + len)` — fault injection modeling a
+    /// cache-miss storm or an external memory hog. The stalled cycles are
+    /// recorded as [`Activity::CacheStall`], so traces, statistics, and
+    /// telemetry conservation all account for them; overlapping windows
+    /// merge through the same `stall_until` mechanism real cache misses
+    /// use, and the event-skip engine treats window starts and ends as
+    /// time events, keeping fast-forward results bit-identical.
+    pub fn schedule_stall(&mut self, tile: TileId, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let v = &mut self.stall_windows[tile.index()];
+        let pos = v.partition_point(|&(s, _)| s <= start);
+        v.insert(pos, (start, start + len));
+    }
+
+    /// Stall windows not yet folded into `stall_until` for `tile`.
+    pub fn pending_stall_windows(&self, tile: TileId) -> usize {
+        self.stall_windows[tile.index()].len()
+    }
+
     /// Begin recording a per-tile activity trace window.
     pub fn start_trace(&mut self, start_cycle: u64, len: usize) {
         assert!(
@@ -477,6 +504,14 @@ impl RawMachine {
         let n = self.tiles.len();
         let cols = self.cfg.dim.cols as u32;
         for t in 0..n {
+            while let Some(&(s, e)) = self.stall_windows[t].first() {
+                if cycle < s {
+                    break;
+                }
+                self.stall_windows[t].remove(0);
+                let su = &mut self.tiles[t].stall_until;
+                *su = (*su).max(e);
+            }
             let (activity, hint) = if cycle < self.tiles[t].stall_until {
                 (Activity::CacheStall, false)
             } else {
@@ -839,6 +874,13 @@ impl RawMachine {
             }
             if tile.stall_until >= now && consider(tile.stall_until) {
                 return Some(now);
+            }
+            // A scheduled stall window beginning is a state change (idle
+            // or blocked cycles become CacheStall); never skip past it.
+            if let Some(&(s, _)) = self.stall_windows[t].first() {
+                if consider(s.max(now)) {
+                    return Some(now);
+                }
             }
             if let Some(ts) = tile.csto.front_ts() {
                 if consider(ts + 1) {

@@ -718,3 +718,48 @@ fn larger_grids_stream_at_line_rate() {
         assert_eq!(pair[1].0 - pair[0].0, 1, "line rate across 8 hops");
     }
 }
+
+/// Fault injection: a scheduled stall window freezes the tile processor
+/// for exactly its span, the frozen cycles are accounted as cache stalls,
+/// and both engine modes agree bit-for-bit on the outcome.
+#[test]
+fn scheduled_stall_windows_delay_without_divergence() {
+    let run = |fast_forward: bool| -> (Vec<u64>, [u64; 5], u64) {
+        let mut m = RawMachine::new(RawConfig {
+            fast_forward,
+            ..RawConfig::default()
+        });
+        let sent_at = Arc::new(Mutex::new(Vec::new()));
+        m.set_program(
+            TileId(0),
+            Box::new(SharedSender {
+                words: (0..8).collect(),
+                next: 0,
+                sent_at: Arc::clone(&sent_at),
+            }),
+        );
+        m.set_switch_program(
+            TileId(0),
+            NET0,
+            SwitchProgram::new(vec![route(NET0, SwPort::Proc, SwPort::E)]),
+        );
+        // Words just drain into tile 1's east-less link via tile 1 switch.
+        m.set_switch_program(
+            TileId(1),
+            NET0,
+            SwitchProgram::new(vec![route(NET0, SwPort::W, SwPort::Proc)]),
+        );
+        m.schedule_stall(TileId(0), 3, 40);
+        m.schedule_stall(TileId(0), 20, 10); // overlapping: merges
+        assert_eq!(m.pending_stall_windows(TileId(0)), 2);
+        m.run(200);
+        assert_eq!(m.pending_stall_windows(TileId(0)), 0);
+        let sends = sent_at.lock().unwrap().clone();
+        (sends, m.stats(TileId(0)).counts, m.cycle())
+    };
+    let (sends, counts, cycle) = run(false);
+    // Sends resume only after the window [3, 43) expires.
+    assert!(sends.iter().skip(3).all(|&c| c >= 43), "sends {sends:?}");
+    assert_eq!(counts[Activity::CacheStall.index()], 40);
+    assert_eq!(run(true), (sends, counts, cycle));
+}

@@ -38,8 +38,10 @@ pub use chrome::chrome_trace;
 pub use export::{ActivityClass, ActivityTrace};
 pub use histogram::Histogram;
 pub use recorder::{PacketLife, Recorder, StageSpan};
-pub use report::{OutputStats, StageStats, SwitchStallStats, TelemetrySummary, TileStallStats};
+pub use report::{
+    OutputStats, PortDropStats, StageStats, SwitchStallStats, TelemetrySummary, TileStallStats,
+};
 pub use sink::{
-    is_null, shared, with_sink, NullSink, SharedSink, Stage, SwitchStallCause, TelemetrySink,
-    TileState,
+    is_null, shared, with_sink, DropReason, NullSink, SharedSink, Stage, SwitchStallCause,
+    TelemetrySink, TileState,
 };

@@ -6,7 +6,7 @@ use serde::Serialize;
 
 use crate::histogram::Histogram;
 use crate::recorder::{Recorder, StageSpan};
-use crate::sink::{SwitchStallCause, TileState};
+use crate::sink::{DropReason, SwitchStallCause, TileState};
 
 /// Percentile row for one pipeline stage, aggregated over all packets.
 #[derive(Clone, Debug, Serialize)]
@@ -62,16 +62,32 @@ pub struct SwitchStallStats {
     pub device_backpressure: u64,
 }
 
+/// Classified drop counters for one ingress port (omitted from the
+/// summary when the port never dropped).
+#[derive(Clone, Debug, Serialize)]
+pub struct PortDropStats {
+    pub port: u8,
+    pub bad_checksum: u64,
+    pub bad_version: u64,
+    pub bad_ihl: u64,
+    pub bad_length: u64,
+    pub ttl_expired: u64,
+    pub truncated: u64,
+    pub total: u64,
+}
+
 /// The full telemetry report for one instrumented run.
 #[derive(Clone, Debug, Serialize)]
 pub struct TelemetrySummary {
     pub packets_completed: u64,
     pub packets_open: u64,
     pub unmatched_egress: u64,
+    pub packets_dropped: u64,
     pub stages: Vec<StageStats>,
     pub per_output: Vec<OutputStats>,
     pub tiles: Vec<TileStallStats>,
     pub switch_links: Vec<SwitchStallStats>,
+    pub drops: Vec<PortDropStats>,
 }
 
 fn stat_row(name: &str, h: &Histogram) -> (String, u64, f64, u64, u64, u64, u64, u64) {
@@ -189,14 +205,34 @@ impl Recorder {
             }
         }
 
+        let mut drops = Vec::new();
+        for p in 0..ports {
+            let c = self.drop_counts(p);
+            if c.iter().all(|&x| x == 0) {
+                continue;
+            }
+            drops.push(PortDropStats {
+                port: p as u8,
+                bad_checksum: c[DropReason::BadChecksum.index()],
+                bad_version: c[DropReason::BadVersion.index()],
+                bad_ihl: c[DropReason::BadIhl.index()],
+                bad_length: c[DropReason::BadLength.index()],
+                ttl_expired: c[DropReason::TtlExpired.index()],
+                truncated: c[DropReason::Truncated.index()],
+                total: c.iter().sum(),
+            });
+        }
+
         TelemetrySummary {
             packets_completed: self.lives().len() as u64,
             packets_open: self.open_packets() as u64,
             unmatched_egress: self.unmatched_egress,
+            packets_dropped: self.drops_total(),
             stages,
             per_output,
             tiles,
             switch_links,
+            drops,
         }
     }
 

@@ -129,6 +129,62 @@ impl SwitchStallCause {
     }
 }
 
+/// Why the router discarded a packet instead of delivering it. Ingress
+/// classifies each drop exactly once, so per port
+/// `delivered + sum(drops by reason) == offered` — the accounting
+/// invariant the chaos battery asserts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Header checksum did not verify.
+    BadChecksum,
+    /// IP version field was not 4.
+    BadVersion,
+    /// Header length field below the minimum or unsupported.
+    BadIhl,
+    /// Total-length field shorter than a minimal header.
+    BadLength,
+    /// TTL expired at the router (0 or 1 on arrival).
+    TtlExpired,
+    /// The wire went idle mid-packet: fewer words arrived than the
+    /// header claimed.
+    Truncated,
+}
+
+impl DropReason {
+    pub const COUNT: usize = 6;
+    pub const ALL: [DropReason; DropReason::COUNT] = [
+        DropReason::BadChecksum,
+        DropReason::BadVersion,
+        DropReason::BadIhl,
+        DropReason::BadLength,
+        DropReason::TtlExpired,
+        DropReason::Truncated,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::BadChecksum => 0,
+            DropReason::BadVersion => 1,
+            DropReason::BadIhl => 2,
+            DropReason::BadLength => 3,
+            DropReason::TtlExpired => 4,
+            DropReason::Truncated => 5,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::BadChecksum => "bad_checksum",
+            DropReason::BadVersion => "bad_version",
+            DropReason::BadIhl => "bad_ihl",
+            DropReason::BadLength => "bad_length",
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::Truncated => "truncated",
+        }
+    }
+}
+
 /// Receiver for instrumentation events. Every method defaults to a no-op
 /// so [`NullSink`] (and any partial sink) compiles down to empty virtual
 /// calls; implementations override only what they consume.
@@ -152,6 +208,10 @@ pub trait TelemetrySink: Send {
     /// Credit `span` consecutive stalled switch cycles on `(tile, net)`
     /// to `cause`.
     fn switch_stalls(&mut self, _tile: u16, _net: u8, _cause: SwitchStallCause, _span: u64) {}
+
+    /// A packet was classified as undeliverable and dropped at ingress
+    /// `port` for `reason` at `cycle`.
+    fn packet_drop(&mut self, _cycle: u64, _port: u8, _reason: DropReason) {}
 
     /// Downcast support so a caller can recover its concrete sink after a
     /// run (e.g. a [`crate::Recorder`] to build a report from).
@@ -229,6 +289,11 @@ mod tests {
         let mut seen = [false; SwitchStallCause::COUNT];
         for c in SwitchStallCause::ALL {
             seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = [false; DropReason::COUNT];
+        for r in DropReason::ALL {
+            seen[r.index()] = true;
         }
         assert!(seen.iter().all(|&b| b));
     }

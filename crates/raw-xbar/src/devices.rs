@@ -34,6 +34,12 @@ pub const WIRE_IDLE: u32 = 0xFFFF_FFFE;
 pub struct LineCardIn {
     queue: VecDeque<(u64, Vec<u32>)>,
     cur: Option<(Vec<u32>, usize)>,
+    /// Slow-line-card fault windows `(start, end)`: while one covers the
+    /// current cycle the card emits idle frames instead of starting the
+    /// next packet. Windows apply at packet boundaries only — an
+    /// in-flight packet always finishes, because idles never appear
+    /// inside a packet.
+    pause: Vec<(u64, u64)>,
     pub words_offered: u64,
     pub idle_words: u64,
     pub packets_offered: u64,
@@ -44,6 +50,7 @@ impl LineCardIn {
         LineCardIn {
             queue: VecDeque::new(),
             cur: None,
+            pause: Vec::new(),
             words_offered: 0,
             idle_words: 0,
             packets_offered: 0,
@@ -52,8 +59,28 @@ impl LineCardIn {
 
     /// Queue a packet for injection at `release` (cycles).
     pub fn offer(&mut self, release: u64, pkt: &Packet) {
-        self.queue.push_back((release, pkt.to_words()));
+        self.offer_words(release, pkt.to_words());
+    }
+
+    /// Queue a raw word stream for injection at `release` — the fault
+    /// injection entry point for corrupted packets. The caller owns the
+    /// framing: a stream truncated short of its header's claimed length
+    /// should end with a [`WIRE_IDLE`] word so the ingress can observe
+    /// the cut even under back-to-back traffic.
+    pub fn offer_words(&mut self, release: u64, words: Vec<u32>) {
+        self.queue.push_back((release, words));
         self.packets_offered += 1;
+    }
+
+    /// Emit idle frames (no new packet starts) during `[start, start+len)`.
+    pub fn pause_window(&mut self, start: u64, len: u64) {
+        if len > 0 {
+            self.pause.push((start, start + len));
+        }
+    }
+
+    fn paused(&self, cycle: u64) -> bool {
+        self.pause.iter().any(|&(s, e)| (s..e).contains(&cycle))
     }
 
     /// Packets not yet fully injected.
@@ -71,6 +98,10 @@ impl Default for LineCardIn {
 impl EdgeDevice for LineCardIn {
     fn pull_in(&mut self, cycle: u64) -> Option<u32> {
         if self.cur.is_none() {
+            if self.paused(cycle) {
+                self.idle_words += 1;
+                return Some(WIRE_IDLE);
+            }
             match self.queue.front() {
                 Some(&(release, _)) if release <= cycle => {
                     let (_, words) = self.queue.pop_front().unwrap();
@@ -148,6 +179,10 @@ enum OutState {
 pub struct LineCardOut {
     framing: OutFraming,
     state: OutState,
+    /// Egress-backpressure fault windows `(start, end)`: while one covers
+    /// the current cycle the card refuses words, pushing back into the
+    /// chip's edge FIFO (and from there into the switch fabric).
+    stall: Vec<(u64, u64)>,
     pub collected: Arc<Mutex<OutCollector>>,
 }
 
@@ -165,10 +200,22 @@ impl LineCardOut {
             LineCardOut {
                 framing,
                 state,
+                stall: Vec::new(),
                 collected: Arc::clone(&collected),
             },
             collected,
         )
+    }
+
+    /// Refuse outgoing words during `[start, start+len)` (backpressure).
+    pub fn stall_window(&mut self, start: u64, len: u64) {
+        if len > 0 {
+            self.stall.push((start, start + len));
+        }
+    }
+
+    fn stalled(&self, cycle: u64) -> bool {
+        self.stall.iter().any(|&(s, e)| (s..e).contains(&cycle))
     }
 
     fn finish_packet(col: &mut OutCollector, words: &[u32], cycle: u64) {
@@ -180,7 +227,12 @@ impl LineCardOut {
 }
 
 impl EdgeDevice for LineCardOut {
+    fn can_push(&self, cycle: u64) -> bool {
+        !self.stalled(cycle)
+    }
+
     fn push_out(&mut self, word: u32, cycle: u64) {
+        debug_assert!(!self.stalled(cycle));
         let mut col = self.collected.lock().unwrap();
         col.words += 1;
         match (&mut self.state, self.framing) {
@@ -238,8 +290,22 @@ impl EdgeDevice for LineCardOut {
         None // never sources words
     }
 
-    fn next_accept_event(&self, _now: u64) -> Option<u64> {
-        None // can_push is constantly true
+    fn next_accept_event(&self, now: u64) -> Option<u64> {
+        // Inside a stall window `can_push` flips back on at its end;
+        // outside one, report the next window start so the event-skip
+        // fast-forward never jumps over a backpressure transition.
+        self.stall
+            .iter()
+            .filter_map(|&(s, e)| {
+                if (s..e).contains(&now) {
+                    Some(e)
+                } else if s >= now {
+                    Some(s)
+                } else {
+                    None
+                }
+            })
+            .min()
     }
 
     fn as_any(&self) -> &dyn Any {

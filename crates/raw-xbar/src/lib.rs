@@ -35,5 +35,5 @@ pub use layout::{PortTiles, RouterLayout, NPORTS};
 pub use programs::{
     EgressMode, EgressStats, IngressQueueing, IngressStats, LookupStats, XbarStats,
 };
-pub use router::{token_schedule, RawRouter, RouterConfig};
+pub use router::{token_schedule, LookupFault, RawRouter, RouterConfig};
 pub use scale::{mesh_scaling_throughput, ring_saturation_throughput, ring_walk};

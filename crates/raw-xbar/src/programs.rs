@@ -25,9 +25,9 @@
 use std::sync::{Arc, Mutex};
 
 use raw_lookup::{Engine, ForwardingTable};
-use raw_net::{ComputeOp, FragTag, Ipv4Header, IPV4_HEADER_WORDS};
+use raw_net::{ComputeOp, CorruptRng, FragTag, IpError, Ipv4Header, IPV4_HEADER_WORDS};
 use raw_sim::{TileIo, TileProgram, NET0};
-use raw_telemetry::{SharedSink, Stage};
+use raw_telemetry::{DropReason, SharedSink, Stage};
 
 use crate::codegen::{CrossbarCode, EgressCode, IngressCode};
 
@@ -65,8 +65,12 @@ pub struct IngressStats {
     pub packets_started: u64,
     pub packets_completed: u64,
     pub packets_dropped: u64,
-    /// Header groups that failed to parse while hunting for a packet
-    /// boundary (corrupt input; the framer resynchronizes on idles).
+    /// Classified drops, indexed by [`DropReason::index`];
+    /// `packets_dropped` is always the sum of this array.
+    pub drops: [u64; DropReason::COUNT],
+    /// Header groups whose claimed length could not be trusted: the
+    /// framer cannot drain a known span, so it resynchronizes on the
+    /// next idle gap instead (these are *not* in `packets_dropped`).
     pub frame_errors: u64,
     pub words_ingested: u64,
     pub words_buffered: u64,
@@ -120,6 +124,9 @@ pub enum IngressQueueing {
 /// One buffered packet awaiting service in a virtual output queue.
 struct VoqPkt {
     base: u32,
+    /// Region words reserved for this packet (the packet itself plus any
+    /// wrap-waste at the region tail); freed in full on completion.
+    reserved: u32,
     total_words: usize,
     streamed: usize,
     seq: u16,
@@ -163,8 +170,10 @@ impl VoqState {
 
     /// Reserve space for a packet headed to the first port of `mask`
     /// (multicast packets queue under their lowest member). Returns the
-    /// base address, or None when the region is full (backpressure).
-    fn alloc(&mut self, mask: u8, words: usize) -> Option<u32> {
+    /// base address and the words reserved (packet plus any wrap-waste —
+    /// the amount [`VoqState::free`] must release), or None when the
+    /// region is full (backpressure).
+    fn alloc(&mut self, mask: u8, words: usize) -> Option<(u32, u32)> {
         let dst = mask.trailing_zeros() as usize;
         let words = words as u32;
         if self.used[dst] + words > VOQ_REGION_WORDS {
@@ -173,24 +182,31 @@ impl VoqState {
         // Keep packets contiguous: wrap the cursor when the tail space
         // is short (the wasted tail counts as used until freed).
         let offset = self.head[dst] % VOQ_REGION_WORDS;
-        let base_off = if offset + words > VOQ_REGION_WORDS {
+        let (base_off, reserved) = if offset + words > VOQ_REGION_WORDS {
             let waste = VOQ_REGION_WORDS - offset;
             if self.used[dst] + waste + words > VOQ_REGION_WORDS {
                 return None;
             }
-            self.head[dst] += waste;
-            self.used[dst] += waste;
-            0
+            (0, waste + words)
         } else {
-            offset
+            (offset, words)
         };
-        self.head[dst] += words;
-        self.used[dst] += words;
-        Some(Self::region_base(dst) + base_off)
+        self.head[dst] += reserved;
+        self.used[dst] += reserved;
+        Some((Self::region_base(dst) + base_off, reserved))
     }
 
-    fn free(&mut self, dst: usize, words: usize) {
-        self.used[dst] -= words as u32;
+    fn free(&mut self, dst: usize, reserved: u32) {
+        self.used[dst] -= reserved;
+    }
+
+    /// Undo the most recent reservation in `dst`'s region (the packet
+    /// being buffered was cut short on the wire and never enqueued).
+    /// Sound because intake handles one packet at a time: the rolled-back
+    /// reservation is always the newest, so the head cursor can rewind.
+    fn unalloc(&mut self, dst: usize, reserved: u32) {
+        self.head[dst] -= reserved;
+        self.used[dst] -= reserved;
     }
 
     /// Packets waiting across all queues (diagnostics).
@@ -218,12 +234,18 @@ enum Intake {
     BufferTail { need: usize, got: usize },
     /// VOQ mode: waiting for queue-region space (backpressure).
     AllocVoq,
-    /// VOQ mode: store the rewritten header words at the packet's base.
-    StoreHdrVoq { base: u32, i: usize },
+    /// VOQ mode: store the rewritten header words at the packet's base
+    /// (`reserved` region words roll back if the wire cuts out).
+    StoreHdrVoq { base: u32, reserved: u32, i: usize },
     /// VOQ mode: buffer the whole packet into its queue's region
     /// (`got` of `need` payload words received; header words land
     /// first).
-    BufferAll { base: u32, need: usize, got: usize },
+    BufferAll {
+        base: u32,
+        reserved: u32,
+        need: usize,
+        got: usize,
+    },
     /// Discard the rest of a bad packet from the wire.
     Drain { left: usize },
 }
@@ -371,6 +393,27 @@ impl IngressProgram {
         }
     }
 
+    /// Count a classified drop (graceful degradation: malformed input is
+    /// counted and discarded, never panicked on) and stamp it into
+    /// telemetry. Keeps `packets_dropped` equal to the sum of the
+    /// per-reason counters.
+    fn record_drop(&mut self, reason: DropReason) {
+        let mut s = self.stats.lock().unwrap();
+        s.packets_dropped += 1;
+        s.drops[reason.index()] += 1;
+        drop(s);
+        if let Some(sink) = &self.telemetry {
+            sink.lock()
+                .unwrap()
+                .packet_drop(self.now, self.port, reason);
+        }
+        if let Some(log) = &self.events {
+            log.lock()
+                .unwrap()
+                .push((self.now, self.port, reason.name()));
+        }
+    }
+
     /// Plan the next fragment of a head-of-queue packet, if any. In VOQ
     /// mode the bid rotates across non-empty virtual output queues (the
     /// HOL-blocking fix of §2.2.2); fragments stream from the buffered
@@ -466,6 +509,14 @@ impl IngressProgram {
                 self.stamp(self.now, self.cur_id, Stage::IngressAccept);
             }
             Intake::NeedHdr { have } => {
+                if w == crate::devices::WIRE_IDLE {
+                    // Idles never appear inside a packet: the line went
+                    // quiet mid-header, so the rest is never coming.
+                    self.record_drop(DropReason::Truncated);
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                    return;
+                }
                 self.hdr_words[*have] = w;
                 *have += 1;
                 if *have == IPV4_HEADER_WORDS {
@@ -475,6 +526,14 @@ impl IngressProgram {
                 }
             }
             Intake::BufferTail { need, got } => {
+                if w == crate::devices::WIRE_IDLE {
+                    // Truncated mid-tail (defensive: injected truncation
+                    // requires VOQ mode, where this path is unused).
+                    self.record_drop(DropReason::Truncated);
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                    return;
+                }
                 let c = self.cur.as_mut().expect("buffering a packet");
                 let addr = IG_BUF_BASE + c.arrived as u32;
                 self.pending_store = Some((addr, w));
@@ -484,7 +543,27 @@ impl IngressProgram {
                     self.intake = Intake::Ready;
                 }
             }
-            Intake::BufferAll { base, need, got } => {
+            Intake::BufferAll {
+                base,
+                reserved,
+                need,
+                got,
+            } => {
+                if w == crate::devices::WIRE_IDLE {
+                    // The wire cut out before the claimed length: roll
+                    // back the queue-region reservation (the packet was
+                    // never enqueued) and count a truncation drop.
+                    let rsv = *reserved;
+                    let dst = {
+                        let c = self.cur.as_ref().expect("buffering a packet");
+                        (c.dst_mask.expect("routed").trailing_zeros() as usize) % NPORTS
+                    };
+                    self.voq.unalloc(dst, rsv);
+                    self.record_drop(DropReason::Truncated);
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                    return;
+                }
                 let c = self.cur.as_mut().expect("buffering a packet");
                 let addr = *base + c.arrived as u32;
                 self.pending_store = Some((addr, w));
@@ -495,6 +574,7 @@ impl IngressProgram {
                     // the next header immediately.
                     let pkt = VoqPkt {
                         base: *base,
+                        reserved: *reserved,
                         total_words: c.total_words,
                         streamed: 0,
                         seq: self.seq % raw_net::frag::SEQ_MODULUS,
@@ -513,6 +593,14 @@ impl IngressProgram {
                 }
             }
             Intake::Drain { left } => {
+                if w == crate::devices::WIRE_IDLE {
+                    // Idle before the claimed length: the discarded
+                    // packet's tail was itself cut short. The drop is
+                    // already counted; just resynchronize.
+                    self.cur = None;
+                    self.intake = Intake::Idle;
+                    return;
+                }
                 *left -= 1;
                 if *left == 0 {
                     self.cur = None;
@@ -549,37 +637,65 @@ impl IngressProgram {
             Intake::Verify { left } => {
                 io.compute();
                 *left -= 1;
-                if *left == 0 {
-                    match Ipv4Header::from_words(&self.hdr_words) {
-                        Ok(mut h) => {
-                            let total_words =
-                                IPV4_HEADER_WORDS + (h.total_len as usize - 20).div_ceil(4);
-                            let drop = h.forward_hop().is_err();
-                            if !drop {
-                                self.hdr_words = h.to_words();
-                            }
-                            self.cur = Some(CurPkt {
-                                total_words,
-                                arrived: IPV4_HEADER_WORDS,
-                                streamed: 0,
-                                dst_mask: None,
-                                drop,
-                            });
-                            self.intake = if drop {
-                                self.stats.lock().unwrap().packets_dropped += 1;
-                                Intake::Drain {
-                                    left: total_words - IPV4_HEADER_WORDS,
-                                }
-                            } else {
-                                Intake::LookupSend { stage: 0 }
-                            };
+                if *left != 0 {
+                    return true;
+                }
+                match Ipv4Header::from_words(&self.hdr_words) {
+                    Ok(mut h) => {
+                        let total_words =
+                            IPV4_HEADER_WORDS + (h.total_len as usize - 20).div_ceil(4);
+                        let drop = h.forward_hop().is_err();
+                        if !drop {
+                            self.hdr_words = h.to_words();
                         }
-                        Err(_) => {
-                            // Unframeable header: count a frame error and
-                            // resynchronize on the next idle gap.
-                            self.stats.lock().unwrap().frame_errors += 1;
-                            self.cur = None;
-                            self.intake = Intake::Idle;
+                        self.cur = Some(CurPkt {
+                            total_words,
+                            arrived: IPV4_HEADER_WORDS,
+                            streamed: 0,
+                            dst_mask: None,
+                            drop,
+                        });
+                        if drop {
+                            self.record_drop(DropReason::TtlExpired);
+                            self.intake = Intake::Drain {
+                                left: total_words - IPV4_HEADER_WORDS,
+                            };
+                        } else {
+                            self.intake = Intake::LookupSend { stage: 0 };
+                        }
+                    }
+                    Err(e) => {
+                        // Graceful degradation: when the claimed length
+                        // survived the corruption, the malformed packet is
+                        // counted under its reason and its exact payload
+                        // span drained, keeping the framer packet-aligned.
+                        // A garbled length cannot be trusted, so those
+                        // count a frame error and resynchronize on the
+                        // next idle gap instead.
+                        let reason = match e {
+                            IpError::BadChecksum => Some(DropReason::BadChecksum),
+                            IpError::BadVersion(_) => Some(DropReason::BadVersion),
+                            // An IHL other than 5 claims option words the
+                            // five-word wire format never carries.
+                            IpError::BadIhl(_) | IpError::Truncated => Some(DropReason::BadIhl),
+                            IpError::BadTotalLength | IpError::TtlExpired => None,
+                        };
+                        let total_len = (self.hdr_words[0] & 0xffff) as usize;
+                        self.cur = None;
+                        match reason {
+                            Some(r) if total_len >= 20 => {
+                                self.record_drop(r);
+                                let payload = (total_len - 20).div_ceil(4);
+                                self.intake = if payload > 0 {
+                                    Intake::Drain { left: payload }
+                                } else {
+                                    Intake::Idle
+                                };
+                            }
+                            _ => {
+                                self.stats.lock().unwrap().frame_errors += 1;
+                                self.intake = Intake::Idle;
+                            }
                         }
                     }
                 }
@@ -651,13 +767,17 @@ impl IngressProgram {
                 io.compute();
                 let c = self.cur.as_ref().expect("routed packet");
                 let mask = c.dst_mask.expect("routed");
-                if let Some(base) = self.voq.alloc(mask, c.total_words) {
-                    self.intake = Intake::StoreHdrVoq { base, i: 0 };
+                if let Some((base, reserved)) = self.voq.alloc(mask, c.total_words) {
+                    self.intake = Intake::StoreHdrVoq {
+                        base,
+                        reserved,
+                        i: 0,
+                    };
                 }
                 true
             }
-            Intake::StoreHdrVoq { base, i } => {
-                let (b, k) = (*base, *i);
+            Intake::StoreHdrVoq { base, reserved, i } => {
+                let (b, rsv, k) = (*base, *reserved, *i);
                 if io.store(b + k as u32, self.hdr_words[k]) {
                     if k + 1 == IPV4_HEADER_WORDS {
                         let c = self.cur.as_ref().expect("routed packet");
@@ -666,6 +786,7 @@ impl IngressProgram {
                             // Header-only packet: enqueue immediately.
                             let pkt = VoqPkt {
                                 base: b,
+                                reserved: rsv,
                                 total_words: c.total_words,
                                 streamed: 0,
                                 seq: self.seq % raw_net::frag::SEQ_MODULUS,
@@ -680,12 +801,17 @@ impl IngressProgram {
                         } else {
                             self.intake = Intake::BufferAll {
                                 base: b,
+                                reserved: rsv,
                                 need,
                                 got: 0,
                             };
                         }
                     } else {
-                        self.intake = Intake::StoreHdrVoq { base: b, i: k + 1 };
+                        self.intake = Intake::StoreHdrVoq {
+                            base: b,
+                            reserved: rsv,
+                            i: k + 1,
+                        };
                     }
                 }
                 true
@@ -706,7 +832,7 @@ impl IngressProgram {
             };
             if done {
                 let p = self.voq.queues[q].pop_front().expect("serving");
-                self.voq.free(q, p.total_words);
+                self.voq.free(q, p.reserved);
                 self.stats.lock().unwrap().packets_completed += 1;
             }
             self.voq.rr = (q + 1) % NPORTS;
@@ -1054,6 +1180,9 @@ impl TileProgram for IngressProgram {
 pub struct LookupStats {
     pub lookups: u64,
     pub total_cost_cycles: u64,
+    /// Lookups forced onto the default route by fault injection
+    /// ([`LookupProgram::inject_misses`]).
+    pub injected_misses: u64,
 }
 
 enum LkSt {
@@ -1069,6 +1198,8 @@ pub struct LookupProgram {
     engine: Engine,
     ingress_rc: (u16, u16),
     st: LkSt,
+    /// Deterministic miss injection: `(rng, miss_ppm, penalty_cycles)`.
+    fault: Option<(CorruptRng, u32, u32)>,
     label: String,
     pub stats: Arc<Mutex<LookupStats>>,
 }
@@ -1087,11 +1218,21 @@ impl LookupProgram {
                 engine,
                 ingress_rc: ingress_row_col,
                 st: LkSt::WaitHdr,
+                fault: None,
                 label: format!("lookup{port}"),
                 stats: Arc::clone(&stats),
             },
             stats,
         )
+    }
+
+    /// Arm deterministic lookup-miss injection: with probability
+    /// `miss_ppm` parts-per-million a lookup discards the table's answer
+    /// and falls back to the default route (port 0) after `penalty`
+    /// extra cycles — the table-miss / stale-route fault class. The
+    /// draws come from a seeded [`CorruptRng`], so runs replay exactly.
+    pub fn inject_misses(&mut self, seed: u64, miss_ppm: u32, penalty: u32) {
+        self.fault = Some((CorruptRng::new(seed), miss_ppm, penalty));
     }
 }
 
@@ -1105,14 +1246,25 @@ impl TileProgram for LookupProgram {
             }
             LkSt::WaitAddr => {
                 if let Some(addr) = io.recv_dyn(0) {
-                    let (hop, cost) = self.table.lookup(self.engine, addr);
+                    let (hop, mut cost) = self.table.lookup(self.engine, addr);
                     // The raw next-hop travels back intact: a plain port
                     // number, or a `MULTICAST_FLAG`-encoded port set.
                     // Unroutable addresses fall back to port 0 (synthetic
                     // tables always carry a default route; defensive).
-                    let port = hop.unwrap_or(0);
+                    let mut port = hop.unwrap_or(0);
+                    let mut injected = false;
+                    if let Some((rng, ppm, penalty)) = &mut self.fault {
+                        if rng.chance_ppm(*ppm) {
+                            port = 0;
+                            cost += *penalty;
+                            injected = true;
+                        }
+                    }
                     let mut s = self.stats.lock().unwrap();
                     s.lookups += 1;
+                    if injected {
+                        s.injected_misses += 1;
+                    }
                     s.total_cost_cycles += cost as u64;
                     drop(s);
                     self.st = LkSt::Compute {

@@ -56,7 +56,23 @@ pub struct RouterConfig {
     pub multicast: bool,
     /// Record protocol events into [`RawRouter::events`].
     pub debug_events: bool,
+    /// Deterministic lookup-table fault injection (chaos testing): forced
+    /// misses fall back to the default route after a penalty.
+    pub lookup_fault: Option<LookupFault>,
     pub raw: RawConfig,
+}
+
+/// Lookup-miss fault-injection parameters (see
+/// [`crate::programs::LookupProgram::inject_misses`]). Each port's
+/// Lookup Processor draws from its own stream, salted from `seed`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LookupFault {
+    pub seed: u64,
+    /// Forced-miss probability in parts-per-million.
+    pub miss_ppm: u32,
+    /// Extra cycles a forced miss costs (the fruitless full walk plus
+    /// the default-route fetch).
+    pub penalty_cycles: u32,
 }
 
 impl Default for RouterConfig {
@@ -74,6 +90,7 @@ impl Default for RouterConfig {
             asm_crossbar: false,
             multicast: false,
             debug_events: false,
+            lookup_fault: None,
             raw: RawConfig::default(),
         }
     }
@@ -105,6 +122,7 @@ pub struct RawRouter {
     pub cfg: RouterConfig,
     pub cs: Arc<ConfigSpace>,
     in_ports: [EdgePort; NPORTS],
+    out_ports: [EdgePort; NPORTS],
     out_cols: [Arc<Mutex<OutCollector>>; NPORTS],
     pub ig_stats: [Arc<Mutex<IngressStats>>; NPORTS],
     pub lk_stats: [Arc<Mutex<LookupStats>>; NPORTS],
@@ -188,6 +206,7 @@ impl RawRouter {
         let mut xb_decisions: Vec<DecisionLog> = Vec::new();
         let mut asm_watches: Vec<raw_isa::WatchHandle> = Vec::new();
         let mut in_ports = Vec::with_capacity(NPORTS);
+        let mut out_ports = Vec::with_capacity(NPORTS);
         let mut out_cols = Vec::with_capacity(NPORTS);
         let mut ig_stats = Vec::with_capacity(NPORTS);
         let mut lk_stats = Vec::with_capacity(NPORTS);
@@ -224,8 +243,13 @@ impl RawRouter {
             in_ports.push(in_port);
 
             // --- Lookup ---
-            let (lk, lks) =
+            let (mut lk, lks) =
                 LookupProgram::new(port, Arc::clone(&table), cfg.engine, dim.coords(p.ingress));
+            if let Some(f) = cfg.lookup_fault {
+                // Salt the seed per port so the four streams differ while
+                // the whole campaign stays a function of one seed.
+                lk.inject_misses(f.seed.wrapping_add(i as u64), f.miss_ppm, f.penalty_cycles);
+            }
             machine.set_program(p.lookup, Box::new(lk));
             lk_stats.push(lks);
 
@@ -305,6 +329,7 @@ impl RawRouter {
             };
             let (out, col) = LineCardOut::new(framing);
             machine.bind_device(out_port, Box::new(out));
+            out_ports.push(out_port);
             out_cols.push(col);
         }
 
@@ -317,6 +342,7 @@ impl RawRouter {
             cfg,
             cs,
             in_ports: in_ports.try_into().map_err(|_| ()).unwrap(),
+            out_ports: out_ports.try_into().map_err(|_| ()).unwrap(),
             out_cols: out_cols.try_into().map_err(|_| ()).unwrap(),
             ig_stats: ig_stats.try_into().map_err(|_| ()).unwrap(),
             lk_stats: lk_stats.try_into().map_err(|_| ()).unwrap(),
@@ -347,6 +373,53 @@ impl RawRouter {
     /// Total packets offered so far.
     pub fn offered(&self) -> u64 {
         self.offered
+    }
+
+    /// Queue a raw word stream on input `port` at `release` — the fault
+    /// injection path for corrupted packets (no cut-through size check:
+    /// a malformed stream is exactly what is being tested). Counts as
+    /// one offered packet. A stream truncated short of its claimed
+    /// length should be padded with [`crate::devices::WIRE_IDLE`] words
+    /// back to that length, so the ingress observes the cut while the
+    /// wire framing stays aligned under back-to-back traffic.
+    pub fn offer_raw(&mut self, port: usize, release: u64, words: Vec<u32>) {
+        let lc = self
+            .machine
+            .device_mut::<LineCardIn>(self.in_ports[port])
+            .expect("line card bound");
+        lc.offer_words(release, words);
+        self.offered += 1;
+    }
+
+    /// Slow-line-card fault: input `port` emits only idle frames during
+    /// `[start, start+len)`; an in-flight packet finishes first.
+    pub fn pause_input(&mut self, port: usize, start: u64, len: u64) {
+        self.machine
+            .device_mut::<LineCardIn>(self.in_ports[port])
+            .expect("line card bound")
+            .pause_window(start, len);
+    }
+
+    /// Egress-backpressure fault: output `port` refuses words during
+    /// `[start, start+len)`, pushing back into the fabric.
+    pub fn stall_output(&mut self, port: usize, start: u64, len: u64) {
+        self.machine
+            .device_mut::<LineCardOut>(self.out_ports[port])
+            .expect("line card bound")
+            .stall_window(start, len);
+    }
+
+    /// Classified ingress drops aggregated across ports, indexed by
+    /// [`raw_telemetry::DropReason::index`].
+    pub fn drop_reasons(&self) -> [u64; raw_telemetry::DropReason::COUNT] {
+        let mut out = [0u64; raw_telemetry::DropReason::COUNT];
+        for s in &self.ig_stats {
+            let s = s.lock().unwrap();
+            for (o, d) in out.iter_mut().zip(s.drops.iter()) {
+                *o += d;
+            }
+        }
+        out
     }
 
     pub fn run(&mut self, cycles: u64) {

@@ -415,25 +415,28 @@ fn assembly_crossbar_sustains_permutation_traffic() {
 #[test]
 fn corrupt_checksum_packet_is_dropped_and_stream_resyncs() {
     // A packet with a broken header checksum is discarded by the ingress
-    // (§4.2's verification); after the inter-packet idle gap the next
-    // packet parses cleanly.
+    // (§4.2's verification). The checksum leaves the claimed length
+    // intact, so the drop is classified, the exact payload span drained,
+    // and the framer stays packet-aligned: the very next packet parses
+    // cleanly with no idle gap needed, and drained-accounting holds
+    // (delivered + dropped == offered).
+    use raw_telemetry::DropReason;
     let mut r = RawRouter::new(RouterConfig::default(), port_table());
     let mut bad = packet(0, 1, 64, 5);
     bad.header.checksum ^= 0x5aa5; // corrupt
     r.offer(0, 0, &bad);
-    // A gap before the good packet lets the framer resynchronize on
-    // idle words (as a real line framer would on interframe gaps).
     let good = packet(0, 2, 64, 6);
-    r.offer(0, 2_000, &good);
-    // Corrupt input defeats drained-accounting; run a fixed window.
-    r.run(400_000);
+    r.offer(0, 0, &good);
+    assert!(r.run_until_drained(400_000), "accounting must close");
     assert_eq!(r.delivered(2).len(), 1, "good packet lost after corruption");
     assert!(
         r.delivered(1).is_empty(),
         "the corrupt packet must not pass"
     );
     let ig = r.ig_stats[0].lock().unwrap();
-    assert!(ig.frame_errors >= 1, "{ig:?}");
+    assert_eq!(ig.packets_dropped, 1, "{ig:?}");
+    assert_eq!(ig.drops[DropReason::BadChecksum.index()], 1, "{ig:?}");
+    assert_eq!(ig.frame_errors, 0, "{ig:?}");
     drop(ig);
     assert_eq!(r.parse_errors(), 0);
 }
