@@ -563,6 +563,117 @@ fn run_chaos() {
     println!("wrote results/chaos.json (two runs per scenario, fingerprints verified equal)");
 }
 
+fn run_fabric() {
+    // `repro -- fabric [--smoke | <packets/port>]`: the smoke run
+    // shrinks the per-cell run length for CI; the default is long
+    // enough to amortize the epoch-boundary pipeline fill that the
+    // aggregate-bandwidth headline depends on.
+    let (ppp, smoke) = match std::env::args().nth(2).as_deref() {
+        None => (1_000usize, false),
+        Some("--smoke") => (120, true),
+        Some(s) => (
+            s.parse()
+                .unwrap_or_else(|_| panic!("fabric: '{s}' is not a packet count")),
+            false,
+        ),
+    };
+    println!(
+        "== fabric: Clos composition of 4-port routers, threaded vs reference \
+         ({ppp} packets/port) =="
+    );
+    let rep = fabric_study(ppp);
+    let rows: Vec<Vec<String>> = rep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.topology.clone(),
+                c.spray.clone(),
+                c.epoch_cycles.to_string(),
+                c.routers.to_string(),
+                c.offered.to_string(),
+                c.dropped.to_string(),
+                format!("{:.3}", c.mpps),
+                format!("{:.2}", c.gbps),
+                c.backpressure_epochs.to_string(),
+                if c.fingerprints_match {
+                    "ok"
+                } else {
+                    "DIVERGED"
+                }
+                .into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "topology",
+                "spray",
+                "epoch",
+                "routers",
+                "offered",
+                "dropped",
+                "Mpps",
+                "Gb/s",
+                "bp-epochs",
+                "fp",
+            ],
+            &rows
+        )
+    );
+    let t: Vec<Vec<String>> = rep
+        .ring_vs_clos
+        .iter()
+        .map(|r| {
+            vec![
+                r.ports.to_string(),
+                format!("{:.3}", r.ring_norm),
+                format!("{:.3}", r.fabric_norm),
+                format!("{:.3}", r.fabric_mpps),
+                format!("{:.2}x", r.fabric_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "ports",
+                "ring/port (norm)",
+                "clos/port (norm)",
+                "clos Mpps",
+                "speedup",
+            ],
+            &t
+        )
+    );
+    println!(
+        "16-port Clos aggregate: {:.3} Mpps = {:.2}x the single 4-port router",
+        rep.clos16_mpps, rep.clos_over_single
+    );
+    assert!(
+        rep.all_fingerprints_match,
+        "threaded executor diverged from the single-threaded reference"
+    );
+    if smoke {
+        assert!(
+            rep.clos_over_single >= 1.5,
+            "smoke: Clos16 only {:.2}x a single router",
+            rep.clos_over_single
+        );
+    } else {
+        assert!(
+            rep.clos_over_single >= 3.0,
+            "Clos16 only {:.2}x a single router (acceptance floor is 3x)",
+            rep.clos_over_single
+        );
+    }
+    write_json(&results_dir(), "fabric", &rep).unwrap();
+    println!("wrote results/fabric.json (every cell fingerprint-verified on both executors)");
+}
+
 fn run_verify() {
     println!("== static verification: conflict / lockstep / deadlock / jump-table ==");
     let report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
@@ -643,13 +754,14 @@ fn main() {
     run("simspeed", &run_simspeed);
     run("telemetry", &run_telemetry);
     run("chaos", &run_chaos);
+    run("fabric", &run_fabric);
     run("verify", &run_verify);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
              multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
-             simspeed telemetry chaos verify"
+             simspeed telemetry chaos fabric verify"
         );
         std::process::exit(2);
     }

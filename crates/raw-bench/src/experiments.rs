@@ -513,11 +513,18 @@ pub struct ScalingRow {
 }
 
 pub fn scaling_study() -> Vec<ScalingRow> {
-    parallel_points(&[4usize, 8, 16, 32], |&n| ScalingRow {
-        ports: n,
-        ring_throughput: raw_xbar::ring_saturation_throughput(n, 30_000, 5),
-        mesh_throughput: raw_xbar::mesh_scaling_throughput(n / 4),
-    })
+    // One measurement path for every consumer: the same ScalingCurve
+    // the fabric experiment uses for its ring-vs-Clos comparison.
+    let curve = raw_xbar::ScalingCurve::measure(&[4, 8, 16, 32], 30_000, 5);
+    curve
+        .points
+        .iter()
+        .map(|p| ScalingRow {
+            ports: p.ports,
+            ring_throughput: p.ring_throughput,
+            mesh_throughput: p.mesh_throughput,
+        })
+        .collect()
 }
 
 /// §6.5: the Crossbar Processors as generated Raw assembly on the

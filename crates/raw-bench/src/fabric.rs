@@ -1,0 +1,209 @@
+//! The §8.5 composition experiment: aggregate switching bandwidth of
+//! multi-router Clos fabrics versus a single 4-port router and versus
+//! the ring the paper rejects.
+//!
+//! Sweeps router count (1 / 6 / 12 via [`Topology`]), epoch size, and
+//! spray mode on saturated fabric-uniform traffic. Every cell runs
+//! twice — threaded executor and single-threaded reference — and the
+//! two fingerprints must agree bit-for-bit; the report then sets the
+//! ring-vs-Clos scaling story side by side using the
+//! [`raw_xbar::ScalingCurve`] ring model.
+
+use serde::{Deserialize, Serialize};
+
+use raw_fabric::{FabricConfig, FabricSummary, RawFabric, SprayMode, Topology};
+use raw_workloads::{generate_n, Arrivals, Pattern, Workload};
+use raw_xbar::ScalingCurve;
+
+/// One sweep cell: a (topology, spray, epoch) point, run on both
+/// executors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricCell {
+    pub topology: String,
+    pub spray: String,
+    pub epoch_cycles: u64,
+    pub routers: usize,
+    pub ext_ports: usize,
+    pub offered: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub epochs: u64,
+    pub cycles: u64,
+    /// Aggregate delivered rate over the whole drained run.
+    pub mpps: f64,
+    pub gbps: f64,
+    pub backpressure_epochs: u64,
+    pub fingerprint: String,
+    /// Threaded and single-threaded reference fingerprints agree.
+    pub fingerprints_match: bool,
+}
+
+/// Ring versus Clos at the same external port count. `ring_norm` and
+/// `fabric_norm` are per-port throughputs normalized to each model's
+/// 4-port baseline; `fabric_speedup` is the raw aggregate-Mpps ratio
+/// over the single router.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingVsClosRow {
+    pub ports: usize,
+    pub ring_norm: f64,
+    pub fabric_norm: f64,
+    pub fabric_mpps: f64,
+    pub fabric_speedup: f64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricReport {
+    pub packet_bytes: usize,
+    pub packets_per_port: usize,
+    pub cells: Vec<FabricCell>,
+    /// Best aggregate Mpps of the single router across its cells.
+    pub single4_mpps: f64,
+    /// Best aggregate Mpps of the 16-port Clos across its cells.
+    pub clos16_mpps: f64,
+    /// The headline: 16-port Clos over single 4-port router.
+    pub clos_over_single: f64,
+    pub all_fingerprints_match: bool,
+    pub ring_curve: ScalingCurve,
+    pub ring_vs_clos: Vec<RingVsClosRow>,
+    /// Full telemetry summary (per-link stats, per-stage latency) of
+    /// the best Clos16 cell.
+    pub best_clos: FabricSummary,
+}
+
+const EPOCH_SWEEP: [u64; 3] = [128, 512, 2048];
+const PACKET_BYTES: usize = 64;
+
+fn run_once(cfg: FabricConfig, w: &Workload, threaded: bool) -> RawFabric {
+    let nports = cfg.topology.ext_ports();
+    let mut fab = RawFabric::try_new(cfg).expect("valid fabric config");
+    for s in generate_n(w, nports) {
+        fab.offer(s.port, s.release, &s.packet);
+    }
+    assert!(
+        fab.run_until_drained(500_000, threaded),
+        "fabric wedged: {:?} delivered {}/{}",
+        fab.summary().topology,
+        fab.delivered_count(),
+        fab.offered()
+    );
+    let errs = fab.conservation_errors();
+    assert!(errs.is_empty(), "conservation violated: {errs:?}");
+    fab
+}
+
+fn run_cell(
+    topology: Topology,
+    spray: SprayMode,
+    epoch_cycles: u64,
+    packets_per_port: usize,
+) -> (FabricCell, FabricSummary) {
+    let cfg = FabricConfig {
+        topology,
+        epoch_cycles,
+        spray,
+        ..FabricConfig::default()
+    };
+    let w = Workload {
+        pattern: Pattern::FabricUniform,
+        arrivals: Arrivals::Saturation,
+        packet_bytes: PACKET_BYTES,
+        packets_per_port,
+        seed: 42,
+        ttl: 64,
+    };
+    let reference = run_once(cfg.clone(), &w, false);
+    let threaded = run_once(cfg, &w, true);
+    let summary = threaded.summary();
+    let cycles = threaded.cycle();
+    let cell = FabricCell {
+        topology: topology.name().into(),
+        spray: spray.name().into(),
+        epoch_cycles,
+        routers: topology.routers(),
+        ext_ports: topology.ext_ports(),
+        offered: threaded.offered(),
+        delivered: threaded.delivered_count(),
+        dropped: threaded.dropped_count(),
+        epochs: threaded.epochs_run(),
+        cycles,
+        mpps: threaded.mpps(0, cycles),
+        gbps: threaded.gbps(0, cycles),
+        backpressure_epochs: summary.backpressure_epochs,
+        fingerprint: format!("{:016x}", threaded.fingerprint()),
+        fingerprints_match: reference.fingerprint() == threaded.fingerprint(),
+    };
+    (cell, summary)
+}
+
+/// The full sweep. `packets_per_port` sets the run length; the
+/// boundary-pipeline fill (a few epochs) is amortized only when the
+/// injection phase dwarfs it, so the aggregate-bandwidth headline wants
+/// hundreds of packets per port (the `--smoke` mode trades that
+/// fidelity for speed).
+pub fn fabric_study(packets_per_port: usize) -> FabricReport {
+    let mut cells = Vec::new();
+    let mut best: Option<(f64, FabricSummary)> = None;
+    for topology in [Topology::Single4, Topology::Folded8, Topology::Clos16] {
+        for spray in [SprayMode::Hash, SprayMode::LeastOccupancy] {
+            for epoch_cycles in EPOCH_SWEEP {
+                let (cell, summary) = run_cell(topology, spray, epoch_cycles, packets_per_port);
+                if topology == Topology::Clos16 && best.as_ref().is_none_or(|(m, _)| cell.mpps > *m)
+                {
+                    best = Some((cell.mpps, summary));
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    let best_of = |name: &str| {
+        cells
+            .iter()
+            .filter(|c| c.topology == name)
+            .map(|c| c.mpps)
+            .fold(0.0f64, f64::max)
+    };
+    let (single4_mpps, folded8_mpps, clos16_mpps) =
+        (best_of("single4"), best_of("folded8"), best_of("clos16"));
+    let ring_curve = ScalingCurve::measure(&[4, 8, 16], 30_000, 5);
+    let ring4 = ring_curve.ring_at(4).expect("4-port ring point");
+    let per_port4 = single4_mpps / 4.0;
+    let ring_vs_clos = [(4usize, single4_mpps), (8, folded8_mpps), (16, clos16_mpps)]
+        .iter()
+        .map(|&(ports, mpps)| RingVsClosRow {
+            ports,
+            ring_norm: ring_curve.ring_at(ports).expect("ring point") / ring4,
+            fabric_norm: (mpps / ports as f64) / per_port4,
+            fabric_mpps: mpps,
+            fabric_speedup: mpps / single4_mpps,
+        })
+        .collect();
+    let (_, best_clos) = best.expect("Clos16 cells exist");
+    FabricReport {
+        packet_bytes: PACKET_BYTES,
+        packets_per_port,
+        all_fingerprints_match: cells.iter().all(|c| c.fingerprints_match),
+        single4_mpps,
+        clos16_mpps,
+        clos_over_single: clos16_mpps / single4_mpps,
+        cells,
+        ring_curve,
+        ring_vs_clos,
+        best_clos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep cell end-to-end: both executors agree and the
+    /// books close (the full sweep is exercised by `repro -- fabric`).
+    #[test]
+    fn clos_cell_runs_and_fingerprints_agree() {
+        let (cell, summary) = run_cell(Topology::Clos16, SprayMode::Hash, 256, 8);
+        assert!(cell.fingerprints_match);
+        assert_eq!(cell.offered, 128);
+        assert_eq!(cell.delivered + cell.dropped, cell.offered);
+        assert_eq!(summary.links.len(), 32);
+    }
+}

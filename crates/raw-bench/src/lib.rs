@@ -7,12 +7,14 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fabric;
 pub mod report;
 pub mod simspeed;
 pub mod telemetry;
 
 pub use chaos::*;
 pub use experiments::*;
+pub use fabric::*;
 pub use report::*;
 pub use simspeed::*;
 pub use telemetry::*;

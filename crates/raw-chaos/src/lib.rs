@@ -43,6 +43,10 @@ use raw_workloads::ScheduledPacket;
 use raw_xbar::devices::WIRE_IDLE;
 use raw_xbar::{IngressQueueing, LookupFault, RawRouter, RouterConfig, NPORTS};
 
+pub mod fabric;
+
+pub use fabric::{ChaosFabric, FabricFaultPlan, LinkStallSpec};
+
 /// Pipeline-element indices within a port's tile slice (the
 /// [`raw_xbar::PortTiles`] fields, in order).
 pub const ELEM_INGRESS: u8 = 0;
@@ -277,60 +281,77 @@ impl ChaosRouter {
         })
     }
 
-    /// Offer one packet through the corruption gauntlet. Every fault
-    /// class draws in a fixed order (zero-rate classes consume no
-    /// randomness), then the first hit — if any — is applied, so the
-    /// campaign is a pure function of `(plan, offer sequence)`.
+    /// Offer one packet through the corruption gauntlet
+    /// ([`corrupt_offer`]).
     pub fn offer(&mut self, port: usize, release: u64, pkt: &Packet) {
-        let hits: Vec<bool> = self
-            .plan
-            .rates()
-            .iter()
-            .map(|&ppm| self.rng.chance_ppm(ppm))
-            .collect();
-        let Some(class) = hits.iter().position(|&h| h) else {
-            self.router.offer(port, release, pkt);
-            return;
-        };
-        let mut words = pkt.to_words();
-        match class {
-            0 => {
-                corrupt::flip_header_bit(&mut words, &mut self.rng);
-                self.injected.header_flips += 1;
-            }
-            1 => {
-                corrupt::bad_checksum(&mut words, &mut self.rng);
-                self.injected.bad_checksums += 1;
-            }
-            2 => {
-                corrupt::bad_version(&mut words, &mut self.rng);
-                self.injected.bad_versions += 1;
-            }
-            3 => {
-                corrupt::bad_ihl(&mut words, &mut self.rng);
-                self.injected.bad_ihls += 1;
-            }
-            4 => {
-                corrupt::expire_ttl(&mut words, &mut self.rng);
-                self.injected.ttl_expires += 1;
-            }
-            5 => {
-                // A line that loses a tail goes quiet for the cut's
-                // duration: pad with idle frames back to the claimed
-                // length so the wire framing (and the ingress ingest
-                // chunking) stays aligned with the next packet.
-                let claimed = words.len();
-                corrupt::truncate_tail(&mut words, &mut self.rng);
-                words.resize(claimed, WIRE_IDLE);
-                self.injected.truncations += 1;
-            }
-            _ => {
-                corrupt::flip_payload_bit(&mut words, &mut self.rng);
-                self.injected.payload_flips += 1;
-            }
+        match corrupt_offer(&self.plan, &mut self.rng, &mut self.injected, pkt) {
+            None => self.router.offer(port, release, pkt),
+            Some((_, words)) => self.router.offer_raw(port, release, words),
         }
-        self.router.offer_raw(port, release, words);
     }
+}
+
+/// The corruption class index of a payload bit flip — the only class
+/// that leaves the packet's header valid, so it is the only one a
+/// multi-hop fabric can still route end-to-end.
+pub const CLASS_PAYLOAD_FLIP: usize = 6;
+
+/// The corruption gauntlet for one offered packet. Every fault class
+/// draws in a fixed order (zero-rate classes consume no randomness),
+/// then the first hit — if any — is applied to a copy of the packet's
+/// wire words, so a campaign is a pure function of
+/// `(plan, offer sequence)`. Returns `None` for a clean pass, or the
+/// hit class index and the corrupted words.
+pub fn corrupt_offer(
+    plan: &FaultPlan,
+    rng: &mut CorruptRng,
+    injected: &mut InjectedFaults,
+    pkt: &Packet,
+) -> Option<(usize, Vec<u32>)> {
+    let hits: Vec<bool> = plan
+        .rates()
+        .iter()
+        .map(|&ppm| rng.chance_ppm(ppm))
+        .collect();
+    let class = hits.iter().position(|&h| h)?;
+    let mut words = pkt.to_words();
+    match class {
+        0 => {
+            corrupt::flip_header_bit(&mut words, rng);
+            injected.header_flips += 1;
+        }
+        1 => {
+            corrupt::bad_checksum(&mut words, rng);
+            injected.bad_checksums += 1;
+        }
+        2 => {
+            corrupt::bad_version(&mut words, rng);
+            injected.bad_versions += 1;
+        }
+        3 => {
+            corrupt::bad_ihl(&mut words, rng);
+            injected.bad_ihls += 1;
+        }
+        4 => {
+            corrupt::expire_ttl(&mut words, rng);
+            injected.ttl_expires += 1;
+        }
+        5 => {
+            // A line that loses a tail goes quiet for the cut's
+            // duration: pad with idle frames back to the claimed
+            // length so the wire framing (and the ingress ingest
+            // chunking) stays aligned with the next packet.
+            let claimed = words.len();
+            corrupt::truncate_tail(&mut words, rng);
+            words.resize(claimed, WIRE_IDLE);
+            injected.truncations += 1;
+        }
+        _ => {
+            corrupt::flip_payload_bit(&mut words, rng);
+            injected.payload_flips += 1;
+        }
+    }
+    Some((class, words))
 }
 
 /// The standard 4-port experiment table *with a default route*, so

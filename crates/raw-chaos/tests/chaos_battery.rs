@@ -6,10 +6,11 @@
 use proptest::prelude::*;
 
 use raw_chaos::*;
+use raw_fabric::{FabricConfig, Topology};
 use raw_net::{CorruptRng, Packet};
 use raw_sim::{RawConfig, NUM_STATIC_NETS};
 use raw_telemetry::{shared, with_sink, DropReason, Recorder, SharedSink};
-use raw_workloads::{generate, ScheduledPacket, Workload};
+use raw_workloads::{generate, generate_n, Arrivals, Pattern, ScheduledPacket, Workload};
 use raw_xbar::{IngressQueueing, RawRouter, RouterConfig, NPORTS};
 
 /// VOQ ingress (so truncation faults are legal) on the 64-byte quantum.
@@ -242,6 +243,111 @@ fn broken_drop_counters_are_caught_by_conservation() {
         assert!(
             found.iter().any(|e| e.contains("telemetry")),
             "mutant C on bucket {i} escaped: {found:?}"
+        );
+    }
+}
+
+/// A random-but-valid fabric fault campaign from one seed: external
+/// packet corruption, inter-router link stalls, and external line-card
+/// windows. Single-router window classes (tile stalls, per-port
+/// pauses) stay empty — their port indices mean internal ports.
+fn random_fabric_plan(seed: u64) -> FabricFaultPlan {
+    let mut r = CorruptRng::new(seed ^ 0xfa6b_71c0_c105_0000);
+    let mut plan = FabricFaultPlan::zero(r.next_u64());
+    plan.packet.header_flip_ppm = r.below(40_000);
+    plan.packet.payload_flip_ppm = r.below(40_000);
+    plan.packet.bad_checksum_ppm = r.below(40_000);
+    plan.packet.ttl_expire_ppm = r.below(40_000);
+    plan.packet.bad_version_ppm = r.below(40_000);
+    plan.packet.bad_ihl_ppm = r.below(40_000);
+    plan.packet.truncate_ppm = r.below(40_000);
+    // Arm lookup faults only half the time, so the other half checks
+    // the flow-order invariant (a forced miss legally splits a flow
+    // across two middle stages).
+    if r.chance_ppm(500_000) {
+        plan.packet.lookup_miss_ppm = r.below(20_000);
+        plan.packet.lookup_penalty_cycles = r.below(64);
+    }
+    for _ in 0..r.below(4) {
+        plan.link_stalls.push(LinkStallSpec {
+            link: r.below(32) as usize,
+            start_epoch: u64::from(r.below(16)),
+            epochs: 1 + u64::from(r.below(6)),
+        });
+    }
+    if r.chance_ppm(500_000) {
+        plan.ext_input_pauses.push(WindowSpec {
+            port: r.below(16) as usize,
+            start: u64::from(r.below(4_000)),
+            len: 1 + u64::from(r.below(600)),
+        });
+    }
+    if r.chance_ppm(500_000) {
+        plan.ext_output_stalls.push(WindowSpec {
+            port: r.below(16) as usize,
+            start: u64::from(r.below(4_000)),
+            len: 1 + u64::from(r.below(600)),
+        });
+    }
+    plan
+}
+
+/// One full fabric chaos campaign; returns the fabric for inspection.
+fn run_chaos_fabric(plan: &FabricFaultPlan, wl_seed: u64, threaded: bool) -> ChaosFabric {
+    let cfg = FabricConfig {
+        topology: Topology::Clos16,
+        epoch_cycles: 256,
+        router: RouterConfig {
+            queueing: IngressQueueing::Voq,
+            ..FabricConfig::default().router
+        },
+        ..FabricConfig::default()
+    };
+    let w = Workload {
+        pattern: Pattern::FabricUniform,
+        arrivals: Arrivals::Saturation,
+        packet_bytes: 64,
+        packets_per_port: 10,
+        seed: wl_seed,
+        ttl: 64,
+    };
+    let mut cf = ChaosFabric::try_new(cfg, plan.clone()).unwrap();
+    for sp in generate_n(&w, 16) {
+        cf.offer(sp.port, sp.release, &sp.packet);
+    }
+    assert!(cf.fabric.run_until_drained(50_000, threaded), "wedged");
+    cf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Graceful degradation scales to the fabric: any random fault
+    /// campaign against the 16-port Clos keeps every conservation
+    /// plane closed, never wedges, replays bit-identically on both
+    /// executors, and — when no lookup faults are armed — never
+    /// reorders a surviving flow.
+    #[test]
+    fn random_fabric_fault_plans_degrade_gracefully(
+        seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+    ) {
+        let plan = random_fabric_plan(seed);
+        let cf = run_chaos_fabric(&plan, wl_seed, false);
+        let errs = cf.fabric.conservation_errors();
+        prop_assert!(errs.is_empty(), "plan seed {seed:#x}: {errs:?}");
+        prop_assert_eq!(cf.fabric.offered(), 160);
+        if plan.packet.lookup_miss_ppm == 0 {
+            prop_assert_eq!(
+                cf.fabric.flow_order_violations(), 0,
+                "plan seed {:#x} reordered a flow", seed
+            );
+        }
+        let replay = run_chaos_fabric(&plan, wl_seed, true);
+        prop_assert_eq!(replay.injected, cf.injected);
+        prop_assert_eq!(
+            replay.fabric.fingerprint(), cf.fabric.fingerprint(),
+            "plan seed {:#x} diverged between executors", seed
         );
     }
 }

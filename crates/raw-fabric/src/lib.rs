@@ -1,0 +1,38 @@
+//! # raw-fabric — a Clos fabric of Rotating Crossbar routers
+//!
+//! The paper's §8.5 answer to "how does this scale past 4 ports" is not
+//! a bigger ring — a ring's bisection is constant while uniform traffic
+//! crossing it grows with the port count — but composition: "build a
+//! larger router out of multiple of these small 4-port routers". This
+//! crate is that composition, in the lineage of Tiny Tera and every
+//! multi-stage switch since:
+//!
+//! * **Topologies** ([`topology`]): a 3-stage 16-port Clos from 12
+//!   four-port routers, a folded 8-port leaf-spine from 6, and the
+//!   single router as the baseline degenerate case — all built from
+//!   *unmodified* [`raw_xbar::RawRouter`] instances, with fabric
+//!   forwarding expressed purely through per-router LPM tables over a
+//!   `10.<dst>.<middle>.x` address scheme;
+//! * **Links** ([`link`]): bounded inter-router FIFOs with per-epoch
+//!   drain rates and credit-based backpressure onto the sender's egress
+//!   port — links never drop, so fabric-wide
+//!   `offered == delivered + dropped` stays exact;
+//! * **Spray** ([`SprayMode`]): the middle-stage choice per flow, either
+//!   a deterministic hash or least-occupancy at first sight; both are
+//!   flow-pinned, preserving intra-flow order across the fabric;
+//! * **Deterministic parallelism** ([`RawFabric`]): each router advances
+//!   in barrier-synchronized epochs of K cycles on its own worker
+//!   thread, with every cross-router transfer applied at the epoch
+//!   boundary by a sequential coordinator — so the threaded executor is
+//!   bit-identical to the single-threaded reference, asserted by
+//!   [`RawFabric::fingerprint`].
+
+pub mod fabric;
+pub mod link;
+pub mod topology;
+
+pub use fabric::{FabricConfig, FabricSummary, RawFabric, SprayMode};
+pub use link::FabricLink;
+pub use topology::{
+    dst_ext_port, fabric_addr, plan, stamp_middle, LinkSpec, RouterSpec, Topology, TopologyPlan,
+};

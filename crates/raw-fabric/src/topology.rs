@@ -1,0 +1,440 @@
+//! Fabric topologies: how external ports, routers, inter-router links,
+//! and per-stage forwarding tables fit together.
+//!
+//! Every topology is built from unmodified 4-port routers. Fabric-level
+//! forwarding is expressed entirely through each router's longest-prefix
+//! tables over the experiment address scheme
+//!
+//! ```text
+//! dst = 10.<d>.<m>.x      d = destination external port
+//!                         m = middle-stage (spray) choice
+//! ```
+//!
+//! The spray decision is made once, at injection, by stamping `m` into
+//! the third octet (and recomputing the header checksum); after that the
+//! packet is self-routing: ingress routers match `/24` prefixes `(d, m)`
+//! to pick the uplink, middle and egress routers match `/16` on `d`
+//! alone. A lookup miss (forced by raw-chaos) falls back to the default
+//! route — uplink 0 at the ingress stage, which still reaches the
+//! correct egress router, so misrouting self-heals within the fabric.
+
+use raw_lookup::RouteEntry;
+use raw_net::Packet;
+use raw_xbar::NPORTS;
+
+/// The fabric shapes the experiments compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// One 4-port router, no links: the paper's baseline, run through
+    /// the same harness so comparisons share every code path.
+    Single4,
+    /// 8 external ports from 6 routers: 4 leaves (2 external ports + 2
+    /// uplinks each) over 2 spines — the folded-Clos (leaf-spine)
+    /// variant. Same-leaf traffic switches locally in one hop.
+    Folded8,
+    /// 16 external ports from 12 routers: the full 3-stage Clos with 4
+    /// ingress, 4 middle, and 4 egress routers (§8.5's "larger router
+    /// out of multiple of these small 4-port routers").
+    Clos16,
+}
+
+impl Topology {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Single4 => "single4",
+            Topology::Folded8 => "folded8",
+            Topology::Clos16 => "clos16",
+        }
+    }
+
+    /// External (fabric-facing) port count.
+    pub fn ext_ports(&self) -> usize {
+        match self {
+            Topology::Single4 => 4,
+            Topology::Folded8 => 8,
+            Topology::Clos16 => 16,
+        }
+    }
+
+    pub fn routers(&self) -> usize {
+        match self {
+            Topology::Single4 => 1,
+            Topology::Folded8 => 6,
+            Topology::Clos16 => 12,
+        }
+    }
+
+    /// Number of middle-stage (spray) choices at injection.
+    pub fn spray_width(&self) -> usize {
+        match self {
+            Topology::Single4 => 1,
+            Topology::Folded8 => 2,
+            Topology::Clos16 => 4,
+        }
+    }
+}
+
+/// One unidirectional inter-router link: sender `(router, output port)`
+/// to receiver `(router, input port)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    pub from: (usize, usize),
+    pub to: (usize, usize),
+}
+
+/// One router's place in the fabric.
+#[derive(Clone, Debug)]
+pub struct RouterSpec {
+    /// 0 = ingress/leaf, 1 = middle/spine, 2 = egress.
+    pub stage: usize,
+    /// The router's forwarding table (always ends with a default route).
+    pub routes: Vec<RouteEntry>,
+}
+
+/// The complete wiring of a fabric.
+#[derive(Clone, Debug)]
+pub struct TopologyPlan {
+    pub topology: Topology,
+    pub routers: Vec<RouterSpec>,
+    pub links: Vec<LinkSpec>,
+    /// External input `e` attaches to router input `ext_in[e]`.
+    pub ext_in: Vec<(usize, usize)>,
+    /// External output `d` drains from router output `ext_out[d]`.
+    pub ext_out: Vec<(usize, usize)>,
+    /// For stage-0 router `r`, `uplinks[r][m]` is the link index that
+    /// carries spray choice `m` (empty for other stages).
+    pub uplinks: Vec<Vec<usize>>,
+}
+
+/// Destination address for external port `d` via middle stage `m`.
+pub fn fabric_addr(d: u8, m: u8) -> u32 {
+    0x0a00_0001 | ((d as u32) << 16) | ((m as u32) << 8)
+}
+
+/// The destination external port encoded in a packet's second octet.
+pub fn dst_ext_port(p: &Packet) -> usize {
+    ((p.header.dst >> 16) & 0xff) as usize
+}
+
+/// Stamp the spray choice into the third destination octet, keeping the
+/// header checksum valid (the stamp happens before the first hop, so no
+/// router ever sees the pre-stamp checksum).
+pub fn stamp_middle(p: &mut Packet, m: u8) {
+    p.header.dst = (p.header.dst & 0xffff_00ff) | ((m as u32) << 8);
+    p.header.checksum = p.header.compute_checksum();
+}
+
+fn route16(d: u8, port: u32) -> RouteEntry {
+    RouteEntry::new(0x0a00_0000 | ((d as u32) << 16), 16, port)
+}
+
+fn route24(d: u8, m: u8, port: u32) -> RouteEntry {
+    RouteEntry::new(
+        0x0a00_0000 | ((d as u32) << 16) | ((m as u32) << 8),
+        24,
+        port,
+    )
+}
+
+fn default_route(port: u32) -> RouteEntry {
+    RouteEntry::new(0, 0, port)
+}
+
+/// Build the full wiring and per-router tables for a topology.
+pub fn plan(t: Topology) -> TopologyPlan {
+    let mut routers = Vec::new();
+    let mut links = Vec::new();
+    let mut uplinks = vec![Vec::new(); t.routers()];
+    let (ext_in, ext_out);
+    match t {
+        Topology::Single4 => {
+            let mut routes: Vec<RouteEntry> =
+                (0..NPORTS as u8).map(|d| route16(d, d as u32)).collect();
+            routes.push(default_route(0));
+            routers.push(RouterSpec { stage: 2, routes });
+            ext_in = (0..NPORTS).map(|p| (0, p)).collect();
+            ext_out = (0..NPORTS).map(|p| (0, p)).collect();
+        }
+        Topology::Clos16 => {
+            // Routers 0-3 ingress, 4-7 middle, 8-11 egress.
+            for (i, up) in uplinks.iter_mut().enumerate().take(4) {
+                let mut routes = Vec::new();
+                for d in 0..16u8 {
+                    for m in 0..4u8 {
+                        routes.push(route24(d, m, m as u32));
+                    }
+                }
+                routes.push(default_route(0));
+                routers.push(RouterSpec { stage: 0, routes });
+                // Ingress i's output m feeds middle m's input i.
+                for m in 0..4 {
+                    up.push(links.len());
+                    links.push(LinkSpec {
+                        from: (i, m),
+                        to: (4 + m, i),
+                    });
+                }
+            }
+            for _m in 0..4 {
+                let mut routes: Vec<RouteEntry> =
+                    (0..16u8).map(|d| route16(d, (d / 4) as u32)).collect();
+                routes.push(default_route(0));
+                routers.push(RouterSpec { stage: 1, routes });
+            }
+            // Middle m's output e feeds egress e's input m.
+            for m in 0..4 {
+                for e in 0..4 {
+                    links.push(LinkSpec {
+                        from: (4 + m, e),
+                        to: (8 + e, m),
+                    });
+                }
+            }
+            for _e in 0..4 {
+                let mut routes: Vec<RouteEntry> =
+                    (0..16u8).map(|d| route16(d, (d % 4) as u32)).collect();
+                routes.push(default_route(0));
+                routers.push(RouterSpec { stage: 2, routes });
+            }
+            ext_in = (0..16).map(|e| (e / 4, e % 4)).collect();
+            ext_out = (0..16).map(|d| (8 + d / 4, d % 4)).collect();
+        }
+        Topology::Folded8 => {
+            // Routers 0-3 leaves, 4-5 spines. Leaf l owns external
+            // ports {2l, 2l+1} on its ports 0-1; ports 2-3 are uplinks.
+            for l in 0..4u8 {
+                let mut routes = Vec::new();
+                for d in 0..8u8 {
+                    if d / 2 == l {
+                        routes.push(route16(d, (d % 2) as u32));
+                    } else {
+                        for m in 0..2u8 {
+                            routes.push(route24(d, m, 2 + m as u32));
+                        }
+                    }
+                }
+                routes.push(default_route(0));
+                routers.push(RouterSpec { stage: 0, routes });
+            }
+            for _s in 0..2 {
+                let mut routes: Vec<RouteEntry> =
+                    (0..8u8).map(|d| route16(d, (d / 2) as u32)).collect();
+                routes.push(default_route(0));
+                routers.push(RouterSpec { stage: 1, routes });
+            }
+            for (l, up) in uplinks.iter_mut().enumerate().take(4) {
+                for s in 0..2usize {
+                    up.push(links.len());
+                    links.push(LinkSpec {
+                        from: (l, 2 + s),
+                        to: (4 + s, l),
+                    });
+                }
+            }
+            for s in 0..2usize {
+                for l in 0..4usize {
+                    links.push(LinkSpec {
+                        from: (4 + s, l),
+                        to: (l, 2 + s),
+                    });
+                }
+            }
+            ext_in = (0..8).map(|e| (e / 2, e % 2)).collect();
+            ext_out = (0..8).map(|d| (d / 2, d % 2)).collect();
+        }
+    }
+    let p = TopologyPlan {
+        topology: t,
+        routers,
+        links,
+        ext_in,
+        ext_out,
+        uplinks,
+    };
+    p.validate();
+    p
+}
+
+impl TopologyPlan {
+    /// Structural sanity: every router port is used at most once on
+    /// each side, external attachments never collide with links, and
+    /// stage-0 routers expose exactly `spray_width` uplinks.
+    fn validate(&self) {
+        let n = self.routers.len();
+        assert_eq!(n, self.topology.routers());
+        assert_eq!(self.ext_in.len(), self.topology.ext_ports());
+        assert_eq!(self.ext_out.len(), self.topology.ext_ports());
+        let mut in_used = vec![[false; NPORTS]; n];
+        let mut out_used = vec![[false; NPORTS]; n];
+        for l in &self.links {
+            assert!(l.from.0 < n && l.from.1 < NPORTS, "bad link source {l:?}");
+            assert!(l.to.0 < n && l.to.1 < NPORTS, "bad link target {l:?}");
+            assert!(
+                !out_used[l.from.0][l.from.1],
+                "output {:?} feeds two links",
+                l.from
+            );
+            assert!(
+                !in_used[l.to.0][l.to.1],
+                "input {:?} fed by two links",
+                l.to
+            );
+            out_used[l.from.0][l.from.1] = true;
+            in_used[l.to.0][l.to.1] = true;
+        }
+        for &(r, p) in &self.ext_in {
+            assert!(!in_used[r][p], "external input collides with a link");
+            in_used[r][p] = true;
+        }
+        for &(r, p) in &self.ext_out {
+            assert!(!out_used[r][p], "external output collides with a link");
+            out_used[r][p] = true;
+        }
+        for (r, spec) in self.routers.iter().enumerate() {
+            let expect = if spec.stage == 0 && self.topology.spray_width() > 1 {
+                self.topology.spray_width()
+            } else {
+                0
+            };
+            assert_eq!(self.uplinks[r].len(), expect, "router {r} uplink count");
+            for (m, &li) in self.uplinks[r].iter().enumerate() {
+                assert_eq!(self.links[li].from.0, r);
+                // Uplink m must land on middle/spine router m.
+                assert_eq!(self.routers[self.links[li].to.0].stage, 1);
+                assert_eq!(self.links[li].to.0, self.stage1_router(m));
+            }
+        }
+    }
+
+    fn stage1_router(&self, m: usize) -> usize {
+        self.routers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.stage == 1)
+            .map(|(i, _)| i)
+            .nth(m)
+            .expect("middle router m exists")
+    }
+
+    /// The link arriving at router input `(r, port)`, if any.
+    pub fn link_into(&self, r: usize, port: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.to == (r, port))
+    }
+
+    /// The link leaving router output `(r, port)`, if any.
+    pub fn link_out_of(&self, r: usize, port: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.from == (r, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_lookup::{Engine, ForwardingTable};
+
+    /// Build every router's table once, with the compact DIR split —
+    /// the canonical 2^24-slot level-1 array is far too heavy to build
+    /// per router inside the per-pair loops below.
+    fn build_tables(plan: &TopologyPlan) -> Vec<ForwardingTable> {
+        plan.routers
+            .iter()
+            .map(|r| ForwardingTable::build_with_l1_bits(&r.routes, 16))
+            .collect()
+    }
+
+    /// Walk a stamped packet's address through the per-router tables and
+    /// links, router by router, and return the external output it
+    /// reaches (purely a model of the tables — no simulation).
+    fn model_route(
+        plan: &TopologyPlan,
+        tables: &[ForwardingTable],
+        src_ext: usize,
+        d: u8,
+        m: u8,
+    ) -> (usize, usize) {
+        let addr = fabric_addr(d, m);
+        let (mut r, _) = plan.ext_in[src_ext];
+        let mut hops = 0;
+        loop {
+            let (hit, _) = tables[r].lookup(Engine::Patricia, addr);
+            let out = hit.expect("default route always matches") as usize;
+            hops += 1;
+            match plan.link_out_of(r, out) {
+                Some(li) => r = plan.links[li].to.0,
+                None => {
+                    let ext = plan
+                        .ext_out
+                        .iter()
+                        .position(|&(er, ep)| (er, ep) == (r, out))
+                        .expect("non-link output must be external");
+                    return (ext, hops);
+                }
+            }
+            assert!(hops < 4, "routing loop for d={d} m={m}");
+        }
+    }
+
+    #[test]
+    fn every_topology_routes_every_pair_through_every_middle() {
+        for t in [Topology::Single4, Topology::Folded8, Topology::Clos16] {
+            let p = plan(t);
+            let tables = build_tables(&p);
+            for src in 0..t.ext_ports() {
+                for d in 0..t.ext_ports() as u8 {
+                    for m in 0..t.spray_width() as u8 {
+                        let (ext, hops) = model_route(&p, &tables, src, d, m);
+                        assert_eq!(ext, d as usize, "{t:?}: {src}->{d} via {m} misrouted");
+                        let max_hops = match t {
+                            Topology::Single4 => 1,
+                            _ => 3,
+                        };
+                        assert!(hops <= max_hops, "{t:?}: {hops} hops");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_clos_switches_local_traffic_in_one_hop() {
+        let p = plan(Topology::Folded8);
+        let tables = build_tables(&p);
+        for leaf in 0..4 {
+            let (_, hops) = model_route(&p, &tables, 2 * leaf, (2 * leaf + 1) as u8, 0);
+            assert_eq!(hops, 1, "same-leaf traffic must not climb to a spine");
+        }
+        // Cross-leaf traffic crosses exactly 3 routers (leaf, spine, leaf).
+        let (_, hops) = model_route(&p, &tables, 0, 7, 1);
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn clos16_has_the_paper_shape() {
+        let p = plan(Topology::Clos16);
+        assert_eq!(p.routers.len(), 12);
+        assert_eq!(p.links.len(), 32);
+        assert_eq!(p.routers.iter().filter(|r| r.stage == 0).count(), 4);
+        assert_eq!(p.routers.iter().filter(|r| r.stage == 1).count(), 4);
+        assert_eq!(p.routers.iter().filter(|r| r.stage == 2).count(), 4);
+        // Default-route fallback at the ingress stage still reaches the
+        // right egress router: middle 0 serves every destination.
+        let tables = build_tables(&p);
+        for d in 0..16u8 {
+            let (ext, _) = model_route(&p, &tables, 5, d, 0);
+            assert_eq!(ext, d as usize);
+        }
+    }
+
+    #[test]
+    fn stamp_keeps_checksums_valid_and_addresses_decodable() {
+        let mut p = Packet::synthetic(raw_workloads::src_addr(3), fabric_addr(13, 0), 64, 64, 9);
+        stamp_middle(&mut p, 2);
+        assert!(p.header.checksum_ok());
+        assert_eq!(dst_ext_port(&p), 13);
+        assert_eq!((p.header.dst >> 8) & 0xff, 2);
+        // Stamping is idempotent on the low octets.
+        stamp_middle(&mut p, 0);
+        assert!(p.header.checksum_ok());
+        assert_eq!(dst_ext_port(&p), 13);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end fabric battery: the threaded executor must be
+//! bit-identical to the single-threaded reference, delivery must match
+//! the workload's own accounting, and congestion must engage the
+//! credit-based backpressure instead of losing packets.
+
+use raw_fabric::{FabricConfig, RawFabric, SprayMode, Topology};
+use raw_workloads::{generate_n, Arrivals, Pattern, Workload};
+
+fn workload(pattern: Pattern, seed: u64, packets_per_port: usize) -> Workload {
+    Workload {
+        pattern,
+        arrivals: Arrivals::Saturation,
+        packet_bytes: 64,
+        packets_per_port,
+        seed,
+        ttl: 64,
+    }
+}
+
+fn cfg(topology: Topology, spray: SprayMode) -> FabricConfig {
+    FabricConfig {
+        topology,
+        epoch_cycles: 256,
+        spray,
+        ..FabricConfig::default()
+    }
+}
+
+/// Build a fabric, offer the whole schedule, run it dry, and check the
+/// books before handing it back for test-specific assertions.
+fn run_fabric(cfg: FabricConfig, w: &Workload, threaded: bool) -> RawFabric {
+    let nports = cfg.topology.ext_ports();
+    let mut fab = RawFabric::try_new(cfg).expect("valid config");
+    for s in generate_n(w, nports) {
+        fab.offer(s.port, s.release, &s.packet);
+    }
+    assert!(
+        fab.run_until_drained(50_000, threaded),
+        "fabric failed to drain: offered={} delivered={} dropped={}",
+        fab.offered(),
+        fab.delivered_count(),
+        fab.dropped_count()
+    );
+    let errs = fab.conservation_errors();
+    assert!(errs.is_empty(), "conservation violated: {errs:?}");
+    fab
+}
+
+#[test]
+fn threaded_execution_is_bit_identical_to_the_reference() {
+    // >= 3 seeds x both spray modes, per the acceptance bar.
+    for seed in [11u64, 22, 33] {
+        for spray in [SprayMode::Hash, SprayMode::LeastOccupancy] {
+            let w = workload(Pattern::FabricUniform, seed, 12);
+            let single = run_fabric(cfg(Topology::Clos16, spray), &w, false);
+            let threaded = run_fabric(cfg(Topology::Clos16, spray), &w, true);
+            assert_eq!(single.delivered_count(), threaded.delivered_count());
+            assert_eq!(single.epochs_run(), threaded.epochs_run());
+            assert_eq!(
+                single.fingerprint(),
+                threaded.fingerprint(),
+                "seed {seed} spray {} diverged",
+                spray.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replaying_the_same_schedule_reproduces_the_fingerprint() {
+    let w = workload(Pattern::FabricUniform, 7, 10);
+    let a = run_fabric(cfg(Topology::Clos16, SprayMode::LeastOccupancy), &w, true);
+    let b = run_fabric(cfg(Topology::Clos16, SprayMode::LeastOccupancy), &w, true);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn uniform_delivery_matches_the_workload_accounting() {
+    let w = workload(Pattern::FabricUniform, 5, 12);
+    let sched = generate_n(&w, 16);
+    let expected = raw_workloads::expected_per_output_n(&sched, 16);
+    let fab = run_fabric(cfg(Topology::Clos16, SprayMode::Hash), &w, false);
+    assert_eq!(fab.dropped_count(), 0, "clean uniform run must not drop");
+    for (ext, &want) in expected.iter().enumerate() {
+        assert_eq!(
+            fab.delivered(ext).len(),
+            want,
+            "external port {ext} delivery mismatch"
+        );
+    }
+    assert_eq!(fab.flow_order_violations(), 0);
+}
+
+#[test]
+fn folded_clos_delivers_in_order_on_both_spray_modes() {
+    for spray in [SprayMode::Hash, SprayMode::LeastOccupancy] {
+        let w = workload(Pattern::FabricUniform, 9, 16);
+        let fab = run_fabric(cfg(Topology::Folded8, spray), &w, true);
+        assert_eq!(fab.dropped_count(), 0);
+        assert_eq!(fab.delivered_count(), fab.offered());
+        assert_eq!(fab.flow_order_violations(), 0, "spray {}", spray.name());
+    }
+}
+
+#[test]
+fn single_router_topology_is_a_working_degenerate_case() {
+    let w = workload(Pattern::Uniform, 3, 20);
+    let fab = run_fabric(cfg(Topology::Single4, SprayMode::Hash), &w, false);
+    assert_eq!(fab.delivered_count(), fab.offered());
+    let s = fab.summary();
+    assert!(s.links.is_empty(), "a single router has no fabric links");
+    assert_eq!(s.backpressure_epochs, 0);
+}
+
+#[test]
+fn cross_stage_hotspot_engages_backpressure_without_loss_accounting_errors() {
+    // All 16 sources target egress group 2 (external ports 8..12), and
+    // that group's external outputs are frozen for the first epochs: the
+    // egress router backs up, the four middle->egress links into it
+    // fill, and credits must stall the middle stage. (The hotspot alone
+    // is not enough — a merely *contended* egress router sheds load as
+    // classified drops at wire speed; only a *slow* receiver starves
+    // link credits.)
+    let w = workload(
+        Pattern::CrossStageHotspot {
+            group: 2,
+            group_size: 4,
+        },
+        17,
+        24,
+    );
+    let fcfg = cfg(Topology::Clos16, SprayMode::Hash);
+    let stall_cycles = 12 * fcfg.epoch_cycles;
+    let mut fab = RawFabric::try_new(fcfg).expect("valid config");
+    for ext in 8..12 {
+        fab.stall_ext_output(ext, 0, stall_cycles);
+    }
+    for s in generate_n(&w, 16) {
+        fab.offer(s.port, s.release, &s.packet);
+    }
+    assert!(fab.run_until_drained(50_000, true));
+    let errs = fab.conservation_errors();
+    assert!(errs.is_empty(), "conservation violated: {errs:?}");
+    let s = fab.summary();
+    assert!(
+        s.backpressure_epochs > 0,
+        "4:1 overload never tripped link credits"
+    );
+    assert_eq!(s.offered, s.delivered + s.dropped);
+    // Only ports in the hotspot group receive anything.
+    for ext in 0..16 {
+        let got = fab.delivered(ext).len();
+        if (8..12).contains(&ext) {
+            assert!(got > 0, "hotspot port {ext} starved");
+        } else {
+            assert_eq!(got, 0, "port {ext} outside the hotspot got traffic");
+        }
+    }
+}
+
+#[test]
+fn link_stalls_delay_but_never_lose_packets() {
+    let w = workload(Pattern::FabricUniform, 21, 10);
+    let mut cfg_stalled = cfg(Topology::Clos16, SprayMode::Hash);
+    cfg_stalled.epoch_cycles = 256;
+    let mut fab = RawFabric::try_new(cfg_stalled).expect("valid config");
+    for s in generate_n(&w, 16) {
+        fab.offer(s.port, s.release, &s.packet);
+    }
+    // Freeze several early links across the first epochs.
+    for link in [0, 5, 17] {
+        fab.stall_link(link, 1, 4);
+    }
+    assert!(fab.run_until_drained(50_000, true));
+    let errs = fab.conservation_errors();
+    assert!(errs.is_empty(), "conservation violated: {errs:?}");
+    assert_eq!(fab.delivered_count(), fab.offered());
+    let s = fab.summary();
+    let stalled: u64 = s.links.iter().map(|l| l.stalled_epochs).sum();
+    assert!(stalled >= 12, "stall windows were not honored: {stalled}");
+}

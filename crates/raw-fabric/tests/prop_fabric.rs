@@ -1,0 +1,124 @@
+//! Property battery: any clean (fault-free) workload on any topology,
+//! epoch size, and spray mode must conserve packets exactly and never
+//! reorder a flow, and the threaded executor must stay bit-identical to
+//! the single-threaded reference on random draws.
+
+use proptest::prelude::*;
+
+use raw_fabric::{FabricConfig, RawFabric, SprayMode, Topology};
+use raw_workloads::{generate_n, Arrivals, Pattern, Workload};
+
+fn pick_topology(sel: u8) -> Topology {
+    if sel.is_multiple_of(2) {
+        Topology::Folded8
+    } else {
+        Topology::Clos16
+    }
+}
+
+fn pick_pattern(sel: u8, nports: usize, seed: u64) -> Pattern {
+    match sel % 3 {
+        0 => Pattern::FabricUniform,
+        1 => Pattern::Permutation {
+            shift: (seed % nports as u64) as u8,
+        },
+        _ => {
+            let group_size = (nports / 4) as u8;
+            Pattern::CrossStageHotspot {
+                group: (seed % 4) as u8,
+                group_size,
+            }
+        }
+    }
+}
+
+fn build(topology: Topology, epoch_sel: u8, spray_sel: u8) -> FabricConfig {
+    FabricConfig {
+        topology,
+        epoch_cycles: [128u64, 256, 512][(epoch_sel % 3) as usize],
+        spray: if spray_sel.is_multiple_of(2) {
+            SprayMode::Hash
+        } else {
+            SprayMode::LeastOccupancy
+        },
+        ..FabricConfig::default()
+    }
+}
+
+fn run(cfg: FabricConfig, w: &Workload, threaded: bool) -> RawFabric {
+    let nports = cfg.topology.ext_ports();
+    let mut fab = RawFabric::try_new(cfg).expect("valid config");
+    for s in generate_n(w, nports) {
+        fab.offer(s.port, s.release, &s.packet);
+    }
+    assert!(fab.run_until_drained(50_000, threaded), "fabric wedged");
+    fab
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Conservation and intra-flow order on a clean fabric: every
+    /// accounting plane closes and no flow is ever reordered, whatever
+    /// the topology, pattern, epoch size, or spray mode.
+    #[test]
+    fn clean_runs_conserve_packets_and_flow_order(
+        seed in any::<u64>(),
+        topo_sel in any::<u8>(),
+        pat_sel in any::<u8>(),
+        epoch_sel in any::<u8>(),
+        spray_sel in any::<u8>(),
+    ) {
+        let topology = pick_topology(topo_sel);
+        let nports = topology.ext_ports();
+        let w = Workload {
+            pattern: pick_pattern(pat_sel, nports, seed),
+            arrivals: Arrivals::Saturation,
+            packet_bytes: 64,
+            packets_per_port: 6,
+            seed,
+            ttl: 64,
+        };
+        let fab = run(build(topology, epoch_sel, spray_sel), &w, false);
+        let errs = fab.conservation_errors();
+        prop_assert!(errs.is_empty(), "seed {seed:#x}: {errs:?}");
+        prop_assert_eq!(fab.offered(), (nports * w.packets_per_port) as u64);
+        prop_assert_eq!(
+            fab.flow_order_violations(), 0,
+            "seed {:#x} reordered a flow", seed
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The threaded executor is bit-identical to the single-threaded
+    /// reference on arbitrary draws, not just the curated seeds of the
+    /// battery test.
+    #[test]
+    fn threaded_matches_reference_on_random_draws(
+        seed in any::<u64>(),
+        topo_sel in any::<u8>(),
+        epoch_sel in any::<u8>(),
+        spray_sel in any::<u8>(),
+    ) {
+        let topology = pick_topology(topo_sel);
+        let w = Workload {
+            pattern: Pattern::FabricUniform,
+            arrivals: Arrivals::Saturation,
+            packet_bytes: 64,
+            packets_per_port: 5,
+            seed,
+            ttl: 64,
+        };
+        let cfg = build(topology, epoch_sel, spray_sel);
+        let single = run(cfg.clone(), &w, false);
+        let threaded = run(cfg, &w, true);
+        prop_assert_eq!(single.epochs_run(), threaded.epochs_run());
+        prop_assert_eq!(
+            single.fingerprint(), threaded.fingerprint(),
+            "seed {:#x} diverged between executors", seed
+        );
+    }
+}

@@ -131,13 +131,23 @@ pub enum Engine {
 
 impl ForwardingTable {
     pub fn build(routes: &[RouteEntry]) -> ForwardingTable {
+        ForwardingTable::build_with_l1_bits(routes, 24)
+    }
+
+    /// Build with a reduced DIR level-1 split (see [`DirTable::with_bits`]).
+    /// The canonical 24-bit level 1 is a 2^24-slot array — fine for one
+    /// router, prohibitive when a fabric instantiates a dozen tables per
+    /// construction. A 16-bit split runs the identical algorithm in
+    /// 2^16 slots; use it wherever the DIR engine's memory layout is not
+    /// itself under measurement.
+    pub fn build_with_l1_bits(routes: &[RouteEntry], l1_bits: u8) -> ForwardingTable {
         let mut patricia = PatriciaTable::new();
         for r in routes {
             patricia.insert(*r);
         }
         ForwardingTable {
             patricia,
-            dir: Dir24_8::build(routes),
+            dir: Dir24_8::with_bits(routes, l1_bits),
             cost: LookupCostModel::default(),
         }
     }

@@ -1,0 +1,105 @@
+//! Fabric-plane telemetry: per-link credit/occupancy statistics and
+//! per-stage latency summaries for multi-router fabrics (raw-fabric).
+//!
+//! The fabric executor owns the raw counters and histograms; these are
+//! the serializable shapes it reports through `results/fabric.json` and
+//! the test batteries. They live here so the telemetry plane remains
+//! the one vocabulary for observability, and so raw-chaos can check
+//! link-level conservation without depending on the bench crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Histogram;
+
+/// Lifetime statistics of one inter-router link (a bounded FIFO with a
+/// per-epoch drain rate and credit-based backpressure).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Index of the link in the fabric's topology plan.
+    pub link: usize,
+    pub from_router: usize,
+    pub from_port: usize,
+    pub to_router: usize,
+    pub to_port: usize,
+    /// Packets that traversed the link (entered its queue).
+    pub packets: u64,
+    /// High-water mark of the link queue, in packets.
+    pub max_occupancy: usize,
+    /// Low-water mark of the sender's credit count (capacity minus
+    /// occupancy, sampled at every epoch boundary).
+    pub min_credits: usize,
+    /// Epochs in which low credits forced a backpressure stall onto the
+    /// sender's egress port.
+    pub backpressure_epochs: u64,
+    /// Epochs in which an injected fault (raw-chaos) froze the link's
+    /// drain entirely.
+    pub stalled_epochs: u64,
+}
+
+/// A latency distribution reduced to the row an experiment table or
+/// JSON report wants: one fabric stage (or the end-to-end total).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageLatency {
+    pub stage: String,
+    pub count: u64,
+    pub mean_cycles: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl StageLatency {
+    /// Reduce a recorded histogram to its report row.
+    pub fn from_histogram(stage: &str, h: &Histogram) -> StageLatency {
+        let (p50, p90, p99, _p999) = h.percentiles();
+        StageLatency {
+            stage: stage.to_string(),
+            count: h.count(),
+            mean_cycles: h.mean(),
+            p50,
+            p90,
+            p99,
+            max: h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_latency_reduces_a_histogram() {
+        let mut h = Histogram::for_cycles();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = StageLatency::from_histogram("middle", &h);
+        assert_eq!(s.stage, "middle");
+        assert_eq!(s.count, 100);
+        assert!(s.mean_cycles > 45.0 && s.mean_cycles < 56.0);
+        assert!(s.p50 >= 45 && s.p50 <= 56, "p50 {}", s.p50);
+        assert!(s.p99 >= 95, "p99 {}", s.p99);
+        assert!(s.max >= 100);
+    }
+
+    #[test]
+    fn link_stats_roundtrip_json() {
+        let l = LinkStats {
+            link: 3,
+            from_router: 1,
+            from_port: 2,
+            to_router: 5,
+            to_port: 1,
+            packets: 400,
+            max_occupancy: 9,
+            min_credits: 2,
+            backpressure_epochs: 7,
+            stalled_epochs: 1,
+        };
+        let s = serde_json::to_string_pretty(&l).unwrap();
+        let back: LinkStats = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, l);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod chrome;
 pub mod export;
+pub mod fabric;
 pub mod histogram;
 pub mod recorder;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod sink;
 
 pub use chrome::chrome_trace;
 pub use export::{ActivityClass, ActivityTrace};
+pub use fabric::{LinkStats, StageLatency};
 pub use histogram::Histogram;
 pub use recorder::{PacketLife, Recorder, StageSpan};
 pub use report::{

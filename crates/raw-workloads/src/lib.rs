@@ -39,6 +39,17 @@ pub enum Pattern {
     /// tunable hotspot between [`Pattern::Uniform`] and
     /// [`Pattern::Hotspot`].
     ZipfHotspot { s_milli: u32 },
+    /// Uniform destinations excluding the source's own external port —
+    /// the fabric-uniform traffic of multi-router experiments, where
+    /// self-directed traffic never crosses the middle stage and would
+    /// flatter the fabric's numbers.
+    FabricUniform,
+    /// Every source targets the `group_size` consecutive destinations
+    /// `[group*group_size, (group+1)*group_size)` — with `group_size`
+    /// equal to the ports per egress router, this oversubscribes one
+    /// egress-stage router of a fabric while its siblings idle (the
+    /// cross-stage analogue of [`Pattern::Hotspot`]).
+    CrossStageHotspot { group: u8, group_size: u8 },
 }
 
 /// Packet arrival process per input port.
@@ -114,11 +125,18 @@ pub fn src_addr(p: u8) -> u32 {
 
 /// The routes of the standard experiment table: `10.<p>.0.0/16 -> p`.
 pub fn port_table_routes() -> Vec<raw_net_compat::RouteSpec> {
-    (0..NPORTS as u8)
+    port_table_routes_n(NPORTS)
+}
+
+/// [`port_table_routes`] for an `nports`-port switch (a fabric's
+/// external port space).
+pub fn port_table_routes_n(nports: usize) -> Vec<raw_net_compat::RouteSpec> {
+    assert!(nports <= 256, "port number must fit the second octet");
+    (0..nports as u32)
         .map(|p| raw_net_compat::RouteSpec {
-            prefix: 0x0a00_0000 | ((p as u32) << 16),
+            prefix: 0x0a00_0000 | (p << 16),
             len: 16,
-            next_hop: p as u32,
+            next_hop: p,
         })
         .collect()
 }
@@ -138,46 +156,62 @@ pub mod raw_net_compat {
 pub const IMIX_SIZES: [usize; 3] = [64, 576, 1500];
 pub const IMIX_WEIGHTS: [u32; 3] = [7, 4, 1];
 
-/// Cumulative Zipf distribution over the output ports for exponent
+/// Cumulative Zipf distribution over `n` output ports for exponent
 /// `s = s_milli / 1000`: `cdf[p]` is `P(dst <= p)` scaled to `u32::MAX`.
-fn zipf_cdf(s_milli: u32) -> [u64; NPORTS] {
+fn zipf_cdf(s_milli: u32, n: usize) -> Vec<u64> {
     let s = s_milli as f64 / 1000.0;
-    let mut w = [0f64; NPORTS];
-    for (p, wp) in w.iter_mut().enumerate() {
-        *wp = 1.0 / ((p + 1) as f64).powf(s);
-    }
+    let w: Vec<f64> = (0..n).map(|p| 1.0 / ((p + 1) as f64).powf(s)).collect();
     let total: f64 = w.iter().sum();
-    let mut cdf = [0u64; NPORTS];
+    let mut cdf = vec![0u64; n];
     let mut acc = 0.0;
     for (p, wp) in w.iter().enumerate() {
         acc += wp;
         cdf[p] = (acc / total * u32::MAX as f64) as u64;
     }
-    cdf[NPORTS - 1] = u32::MAX as u64;
+    cdf[n - 1] = u32::MAX as u64;
     cdf
 }
 
-/// Generate the full packet schedule for a workload.
+/// Generate the full packet schedule for a workload on the standard
+/// 4-port router ([`NPORTS`] sources and destinations).
 pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
+    generate_n(w, NPORTS)
+}
+
+/// Generate the schedule for an `nports`-port switch: `nports` sources,
+/// destinations drawn from the same `nports`-wide external port space.
+/// Identical to [`generate`] at `nports = 4` (same seed, same draws).
+pub fn generate_n(w: &Workload, nports: usize) -> Vec<ScheduledPacket> {
+    assert!((2..=256).contains(&nports), "nports {nports} out of range");
+    if let Pattern::Hotspot { dst } = w.pattern {
+        assert!((dst as usize) < nports, "hotspot dst outside port space");
+    }
+    if let Pattern::CrossStageHotspot { group, group_size } = w.pattern {
+        assert!(group_size > 0, "empty hotspot group");
+        assert!(
+            (group as usize + 1) * group_size as usize <= nports,
+            "cross-stage group outside port space"
+        );
+    }
     let mut rng = StdRng::seed_from_u64(w.seed);
-    let mut out = Vec::with_capacity(w.packets_per_port * NPORTS);
-    let mut burst_state = [(0u8, 0u32); NPORTS]; // (dst, remaining)
+    let mut out = Vec::with_capacity(w.packets_per_port * nports);
+    let mut burst_state = vec![(0u8, 0u32); nports]; // (dst, remaining)
     let zipf = match w.pattern {
-        Pattern::ZipfHotspot { s_milli } => Some(zipf_cdf(s_milli)),
+        Pattern::ZipfHotspot { s_milli } => Some(zipf_cdf(s_milli, nports)),
         _ => None,
     };
     #[allow(clippy::needless_range_loop)]
-    for src in 0..NPORTS {
+    for src in 0..nports {
         let mut release = 0u64;
         for k in 0..w.packets_per_port {
             let dst = match w.pattern {
-                Pattern::Permutation { shift } => ((src as u8) + shift) % NPORTS as u8,
-                Pattern::Uniform | Pattern::Imix => rng.gen_range(0..NPORTS as u8),
+                Pattern::Permutation { shift } => ((src + shift as usize) % nports) as u8,
+                Pattern::Uniform | Pattern::Imix => rng.gen_range(0..nports as u8),
                 Pattern::Hotspot { dst } => dst,
                 Pattern::Bursty { burst } => {
                     let (d, left) = &mut burst_state[src];
                     if *left == 0 {
-                        *d = rng.gen_range(0..NPORTS as u8);
+                        *d = rng.gen_range(0..nports as u8);
                         *left = burst;
                     }
                     *left -= 1;
@@ -187,6 +221,18 @@ pub fn generate(w: &Workload) -> Vec<ScheduledPacket> {
                     let cdf = zipf.as_ref().unwrap();
                     let u = rng.gen::<u32>() as u64;
                     cdf.iter().position(|&c| u <= c).unwrap() as u8
+                }
+                Pattern::FabricUniform => {
+                    // Uniform over the other nports-1 ports.
+                    let d = rng.gen_range(0..nports as u8 - 1);
+                    if d as usize >= src {
+                        d + 1
+                    } else {
+                        d
+                    }
+                }
+                Pattern::CrossStageHotspot { group, group_size } => {
+                    group * group_size + rng.gen_range(0..group_size)
                 }
             };
             let bytes = match w.pattern {
@@ -267,12 +313,18 @@ pub fn flow_order_violations(delivered: &[Packet]) -> usize {
 
 /// Per-output expected packet counts for a schedule (delivery checking).
 pub fn expected_per_output(sched: &[ScheduledPacket]) -> [usize; NPORTS] {
-    let mut out = [0usize; NPORTS];
+    let v = expected_per_output_n(sched, NPORTS);
+    std::array::from_fn(|i| v[i])
+}
+
+/// [`expected_per_output`] over an `nports`-wide external port space.
+pub fn expected_per_output_n(sched: &[ScheduledPacket], nports: usize) -> Vec<usize> {
+    let mut out = vec![0usize; nports];
     for s in sched {
         // The port lives in the second address octet (`10.<p>.0.0/16`);
         // it must name a real output, not be silently masked into range.
         let dst = ((s.packet.header.dst >> 16) & 0xff) as usize;
-        assert!(dst < NPORTS, "destination {dst} outside the port space");
+        assert!(dst < nports, "destination {dst} outside the port space");
         out[dst] += 1;
     }
     out
@@ -437,6 +489,93 @@ mod tests {
         assert!(hard[0] > skew[0], "{hard:?} vs {skew:?}");
         assert_eq!(flat.iter().sum::<usize>(), 2000);
         assert_eq!(skew.iter().sum::<usize>(), 2000);
+    }
+
+    #[test]
+    fn generate_n_at_four_ports_matches_generate() {
+        for w in [
+            Workload::peak(64, 30),
+            Workload::average(256, 40, 7),
+            Workload {
+                pattern: Pattern::ZipfHotspot { s_milli: 1500 },
+                ..Workload::average(64, 25, 3)
+            },
+        ] {
+            let a = generate(&w);
+            let b = generate_n(&w, NPORTS);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.packet, y.packet);
+                assert_eq!((x.port, x.release), (y.port, y.release));
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_uniform_is_deterministic_and_avoids_self() {
+        let w = Workload {
+            pattern: Pattern::FabricUniform,
+            ..Workload::average(64, 200, 21)
+        };
+        let a = generate_n(&w, 16);
+        let b = generate_n(&w, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.release, y.release);
+        }
+        assert_eq!(a.len(), 16 * 200);
+        for s in &a {
+            let dst = ((s.packet.header.dst >> 16) & 0xff) as usize;
+            assert_ne!(dst, s.port, "fabric-uniform must exclude self-traffic");
+            assert!(dst < 16);
+        }
+        // Every one of the 15 foreign destinations is covered per source.
+        let per = expected_per_output_n(&a, 16);
+        assert!(per.iter().all(|&n| n > 100), "{per:?}");
+    }
+
+    #[test]
+    fn cross_stage_hotspot_is_deterministic_and_stays_in_group() {
+        let w = Workload {
+            pattern: Pattern::CrossStageHotspot {
+                group: 2,
+                group_size: 4,
+            },
+            ..Workload::average(64, 50, 17)
+        };
+        let a = generate_n(&w, 16);
+        let b = generate_n(&w, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.packet, y.packet);
+        }
+        let per = expected_per_output_n(&a, 16);
+        // All 800 packets land on egress group 2 (external ports 8..12).
+        assert_eq!(per.iter().sum::<usize>(), 800);
+        for (d, &n) in per.iter().enumerate() {
+            if (8..12).contains(&d) {
+                assert!(n > 100, "port {d} got {n}");
+            } else {
+                assert_eq!(n, 0, "port {d} outside the hot group got traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_port_permutation_wraps_the_wide_port_space() {
+        let w = Workload {
+            pattern: Pattern::Permutation { shift: 5 },
+            ..Workload::peak(64, 3)
+        };
+        let sched = generate_n(&w, 16);
+        for s in &sched {
+            let dst = ((s.packet.header.dst >> 16) & 0xff) as usize;
+            assert_eq!(dst, (s.port + 5) % 16);
+        }
+        assert_eq!(
+            expected_per_output_n(&sched, 16),
+            vec![3usize; 16],
+            "a permutation loads every output equally"
+        );
     }
 
     #[test]

@@ -36,4 +36,6 @@ pub use programs::{
     EgressMode, EgressStats, IngressQueueing, IngressStats, LookupStats, XbarStats,
 };
 pub use router::{token_schedule, LookupFault, RawRouter, RouterConfig};
-pub use scale::{mesh_scaling_throughput, ring_saturation_throughput, ring_walk};
+pub use scale::{
+    mesh_scaling_throughput, ring_saturation_throughput, ring_walk, ScalingCurve, ScalingPoint,
+};

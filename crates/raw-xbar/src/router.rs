@@ -409,6 +409,18 @@ impl RawRouter {
             .stall_window(start, len);
     }
 
+    /// Packets queued at input `port`'s line card that the fabric has
+    /// not yet consumed (the in-flight packet counts as one). A
+    /// multi-router fabric reads this to decide whether the upstream
+    /// link may hand over more packets — receiver congestion becomes
+    /// link occupancy becomes sender backpressure.
+    pub fn input_backlog(&mut self, port: usize) -> usize {
+        self.machine
+            .device_mut::<LineCardIn>(self.in_ports[port])
+            .expect("line card bound")
+            .backlog()
+    }
+
     /// Classified ingress drops aggregated across ports, indexed by
     /// [`raw_telemetry::DropReason::index`].
     pub fn drop_reasons(&self) -> [u64; raw_telemetry::DropReason::COUNT] {

@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One slot of the generalized sequential walk on an `n`-tile ring.
 /// `bids[i]` is input `i`'s destination (or `None`); returns the grant
@@ -91,9 +92,74 @@ pub fn mesh_scaling_throughput(k: usize) -> f64 {
     (bisection / (ports / 2.0)).min(1.0)
 }
 
+/// One port count of the §8.5 scaling comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    pub ports: usize,
+    /// Grants per port per slot of the single `n`-port token ring.
+    pub ring_throughput: f64,
+    /// The analytic mesh-of-4-port-routers model at the same port count.
+    pub mesh_throughput: f64,
+}
+
+/// The ring-vs-composition scaling curve, reusable by any experiment
+/// that wants the §8.5 baseline on its own table (the fabric study
+/// plots measured Clos throughput against these modeled points).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingCurve {
+    pub slots: u64,
+    pub seed: u64,
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingCurve {
+    /// Measure the ring walk at each port count (and evaluate the mesh
+    /// model alongside). Deterministic in `(port_counts, slots, seed)`.
+    pub fn measure(port_counts: &[usize], slots: u64, seed: u64) -> ScalingCurve {
+        ScalingCurve {
+            slots,
+            seed,
+            points: port_counts
+                .iter()
+                .map(|&n| ScalingPoint {
+                    ports: n,
+                    ring_throughput: ring_saturation_throughput(n, slots, seed),
+                    mesh_throughput: mesh_scaling_throughput(n / 4),
+                })
+                .collect(),
+        }
+    }
+
+    /// The ring's per-port saturation throughput at `ports`, if that
+    /// port count was measured.
+    pub fn ring_at(&self, ports: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.ports == ports)
+            .map(|p| p.ring_throughput)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_curve_is_deterministic_and_matches_point_fns() {
+        let a = ScalingCurve::measure(&[4, 8, 16], 5_000, 5);
+        let b = ScalingCurve::measure(&[4, 8, 16], 5_000, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.points.len(), 3);
+        for p in &a.points {
+            assert_eq!(
+                p.ring_throughput,
+                ring_saturation_throughput(p.ports, 5_000, 5)
+            );
+            assert_eq!(p.mesh_throughput, mesh_scaling_throughput(p.ports / 4));
+        }
+        assert_eq!(a.ring_at(8), Some(a.points[1].ring_throughput));
+        assert_eq!(a.ring_at(12), None);
+    }
 
     #[test]
     fn four_port_walk_matches_config_module() {
