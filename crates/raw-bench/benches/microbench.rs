@@ -2,14 +2,32 @@
 //! one group per paper artifact, so `cargo bench` exercises the same code
 //! paths the tables are generated from at measurable scale.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::sync::Arc;
 
 use raw_baselines::{internet_mix, BackplaneSim, CrossbarSim, FabricConfig, Granularity, Queueing};
+use raw_bench::{engine_name, ENGINES};
 use raw_lookup::{synth_addresses, synth_table, Engine, ForwardingTable};
 use raw_net::{Ipv4Header, Packet};
+use raw_sim::EngineMode;
 use raw_workloads::{generate, Workload};
 use raw_xbar::{config, RawRouter, RouterConfig};
+
+/// A saturated 64-byte Figure 7-1 router, ready to run, in one engine
+/// mode (the compiled engine lowers its fabric at construction).
+fn saturated_router(engine: EngineMode, packets: usize) -> RawRouter {
+    let mut cfg = RouterConfig {
+        quantum_words: 16,
+        cut_through: true,
+        ..RouterConfig::default()
+    };
+    cfg.raw.engine = engine;
+    let mut r = RawRouter::new(cfg, raw_bench::experiment_table());
+    for sp in generate(&Workload::peak(64, packets)) {
+        r.offer(sp.port, sp.release, &sp.packet);
+    }
+    r
+}
 
 /// Figure 7-1's engine: simulated router cycles per second of host time
 /// (one granted 64-byte-packet pipeline per iteration).
@@ -42,41 +60,102 @@ fn bench_router(c: &mut Criterion) {
 }
 
 /// The cycle engine itself: simulated cycles per second of host time in
-/// both engine modes. The saturated router isolates the zero-allocation
-/// hot path (line cards offer a word every cycle, so event-skip never
-/// engages); the throttled drip-feed pipe isolates the skip.
+/// every engine mode, reported as Mcycles/s via the group throughput
+/// (one element = one simulated machine cycle). The saturated router
+/// isolates the hot step path (line cards offer a word every cycle, so
+/// event-skip never engages); the throttled drip-feed pipe isolates the
+/// skip.
 fn bench_sim_speed(c: &mut Criterion) {
+    const SPAN: u64 = 20_000;
+    const DRIP_WORDS: u32 = 2_000;
+    const DRIP_INTERVAL: u64 = 64;
     let mut g = c.benchmark_group("sim_speed");
     g.sample_size(10);
-    for ff in [true, false] {
-        let mode = if ff { "skip" } else { "percycle" };
+    for engine in ENGINES {
+        let mode = engine_name(engine);
+        g.throughput(Throughput::Elements(SPAN));
         g.bench_function(format!("router_64B_saturated_{mode}"), |b| {
             b.iter_batched(
-                || {
-                    let mut cfg = RouterConfig {
-                        quantum_words: 16,
-                        cut_through: true,
-                        ..RouterConfig::default()
-                    };
-                    cfg.raw.fast_forward = ff;
-                    let mut r = RawRouter::new(cfg, raw_bench::experiment_table());
-                    for sp in generate(&Workload::peak(64, 2000)) {
-                        r.offer(sp.port, sp.release, &sp.packet);
-                    }
-                    r
-                },
+                || saturated_router(engine, 2000),
                 |mut r| {
-                    r.run(20_000);
+                    r.run(SPAN);
                     r.delivered_count()
                 },
                 BatchSize::PerIteration,
             )
         });
+        g.throughput(Throughput::Elements(
+            (u64::from(DRIP_WORDS) + 16) * DRIP_INTERVAL,
+        ));
         g.bench_function(format!("drip_feed_quiet_{mode}"), |b| {
             b.iter(|| {
-                let rep = raw_bench::simspeed_drip_once(2_000, 64, ff);
+                let rep = raw_bench::simspeed_drip_once(DRIP_WORDS, DRIP_INTERVAL, engine);
                 std::hint::black_box(rep)
             })
+        });
+    }
+    g.finish();
+}
+
+/// The tentpole guardrail: the schedule-specialized step function
+/// against the interpreted step on a bare always-busy machine (a
+/// saturated forwarding pipe across the top row — no line cards, no
+/// packet framing), construction excluded, rates in Mcycles/s.
+/// `compiled` must beat `event-skip` here or the specialization is
+/// regressing.
+fn bench_compiled_step(c: &mut Criterion) {
+    use raw_sim::{
+        Dir, EdgePort, NullSink, RawConfig, RawMachine, Route, SwPort, SwitchCtrl, SwitchInstr,
+        SwitchProgram, WordSource, NET0,
+    };
+    const SPAN: u64 = 50_000;
+
+    let streaming_machine = |engine: EngineMode| -> RawMachine {
+        let cfg = RawConfig {
+            engine,
+            ..RawConfig::default()
+        };
+        let dim = cfg.dim;
+        let mut m = RawMachine::new(cfg);
+        let forward = SwitchProgram::new(vec![SwitchInstr::new(
+            vec![Route::new(
+                NET0,
+                SwPort::from_dir(Dir::West),
+                SwPort::from_dir(Dir::East),
+            )],
+            SwitchCtrl::Jump(0),
+        )]);
+        for c in 0..dim.cols {
+            m.set_switch_program(dim.tile(0, c), NET0, forward.clone());
+        }
+        m.bind_device(
+            EdgePort::new(dim.tile(0, 0), Dir::West, NET0),
+            Box::new(WordSource::new(0..(SPAN as u32 + 64))),
+        );
+        m.bind_device(
+            EdgePort::new(dim.tile(0, dim.cols - 1), Dir::East, NET0),
+            Box::new(NullSink::default()),
+        );
+        if engine == EngineMode::Compiled {
+            raw_compile::compile_machine(&mut m, &raw_compile::CompileOptions::default())
+                .expect("pipe compiles");
+        }
+        m
+    };
+
+    let mut g = c.benchmark_group("compiled_step");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SPAN));
+    for engine in ENGINES {
+        g.bench_function(format!("streaming_pipe_{}", engine_name(engine)), |b| {
+            b.iter_batched(
+                || streaming_machine(engine),
+                |mut m| {
+                    m.run(SPAN);
+                    m.routes_fired
+                },
+                BatchSize::PerIteration,
+            )
         });
     }
     g.finish();
@@ -225,6 +304,7 @@ criterion_group!(
     benches,
     bench_router,
     bench_sim_speed,
+    bench_compiled_step,
     bench_telemetry,
     bench_scheduler,
     bench_lookup,

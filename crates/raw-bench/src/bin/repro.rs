@@ -358,53 +358,88 @@ fn run_lookup() {
 }
 
 fn run_simspeed() {
-    // `repro -- simspeed [cycles]`: a smaller span makes a smoke test
-    // (CI); the default matches the Figure 7-1 measurement run.
+    // `repro -- simspeed [cycles] [repeats]`: a smaller span makes a
+    // smoke test (CI); the defaults match the Figure 7-1 measurement
+    // run with median-of-3 timing.
     let cycles = match std::env::args().nth(2) {
         None => 220_000,
         Some(s) => s
             .parse()
             .unwrap_or_else(|_| panic!("simspeed: '{s}' is not a cycle count")),
     };
-    println!("== simulator performance: wall-clock per engine mode ({cycles} router cycles) ==");
-    let rep = simspeed(cycles);
+    let repeats = match std::env::args().nth(3) {
+        None => 3,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("simspeed: '{s}' is not a repeat count")),
+    };
+    println!(
+        "== simulator performance: wall-clock per engine ({cycles} router cycles, \
+         median of {repeats}) =="
+    );
+    let rep = simspeed_with(cycles, repeats);
     let rows: Vec<Vec<String>> = rep
         .rows
         .iter()
         .map(|r| {
             vec![
                 r.scenario.clone(),
-                if r.fast_forward { "skip" } else { "per-cycle" }.into(),
+                r.engine.clone(),
                 r.sim_cycles.to_string(),
                 format!("{:.1}", r.wall_ms),
-                format!("{:.2}M", r.cycles_per_sec / 1e6),
+                format!("{:.2}", r.mcycles_per_sec),
             ]
         })
         .collect();
     println!(
         "{}",
         table(
-            &["scenario", "engine", "sim cycles", "wall ms", "cyc/s"],
+            &["scenario", "engine", "sim cycles", "wall ms", "Mcyc/s"],
             &rows
         )
     );
+    let srows: Vec<Vec<String>> = rep
+        .speedups
+        .iter()
+        .map(|s| {
+            vec![
+                s.scenario.clone(),
+                format!("{:.2}x", s.event_skip_vs_per_cycle),
+                format!("{:.2}x", s.compiled_vs_per_cycle),
+                format!("{:.2}x", s.compiled_vs_event_skip),
+                if s.fingerprints_match {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+                .into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario",
+                "skip/percyc",
+                "compiled/percyc",
+                "compiled/skip",
+                "results"
+            ],
+            &srows
+        )
+    );
     for s in &rep.speedups {
-        println!(
-            "{:>14}: {:.2}x speedup, results {}",
-            s.scenario,
-            s.speedup,
-            if s.fingerprints_match {
-                "identical"
-            } else {
-                "DIVERGED"
-            }
-        );
         assert!(
             s.fingerprints_match,
-            "fast-forward must not change simulation results"
+            "{}: engine modes must not change simulation results",
+            s.scenario
         );
     }
     write_json(&results_dir(), "simspeed", &rep).unwrap();
+    // CI-diffable digest at the repo root: the speedup matrix and
+    // per-engine throughput, without raw wall times.
+    write_json(&PathBuf::from("."), "BENCH_simspeed", &bench_digest(&rep)).unwrap();
 }
 
 fn run_telemetry() {

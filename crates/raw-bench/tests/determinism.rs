@@ -3,25 +3,33 @@
 //! Two guarantees, both load-bearing for every number in `results/`:
 //! 1. Reproducibility — the same experiment run twice produces
 //!    byte-identical metrics and traces (no hidden host-dependent state).
-//! 2. Engine equivalence — the event-skip fast-forward produces results
-//!    bit-identical to per-cycle stepping: throughput, per-tile activity
-//!    statistics, switch stalls, and the full Figure 7-3 trace.
+//! 2. Engine equivalence — event-skip fast-forwarding and the compiled
+//!    engine produce results bit-identical to per-cycle stepping:
+//!    throughput, per-tile activity statistics, switch stalls, the full
+//!    Figure 7-3 trace, and chaos-campaign fingerprints under an active
+//!    fault plan.
 
-use raw_sim::TileId;
+use raw_sim::{EngineMode, TileId};
 use raw_telemetry::{shared, NullSink, Recorder, SharedSink};
 use raw_workloads::{generate, Workload};
 use raw_xbar::{RawRouter, RouterConfig};
 
+const ALL_ENGINES: [EngineMode; 3] = [
+    EngineMode::PerCycle,
+    EngineMode::EventSkip,
+    EngineMode::Compiled,
+];
+
 /// A fig7-1-peak-style run at one packet size with a fig7-3-style trace
 /// window, distilled to two strings: a metrics fingerprint and the full
 /// per-cycle trace CSV.
-fn traced_peak(bytes: usize, fast_forward: bool) -> (String, String) {
-    traced_peak_with(bytes, fast_forward, None)
+fn traced_peak(bytes: usize, engine: EngineMode) -> (String, String) {
+    traced_peak_with(bytes, engine, None)
 }
 
 fn traced_peak_with(
     bytes: usize,
-    fast_forward: bool,
+    engine: EngineMode,
     telemetry: Option<SharedSink>,
 ) -> (String, String) {
     let quantum = bytes / 4;
@@ -30,9 +38,14 @@ fn traced_peak_with(
         cut_through: true,
         ..RouterConfig::default()
     };
-    cfg.raw.fast_forward = fast_forward;
+    cfg.raw.engine = engine;
     let mut r = RawRouter::try_new_with_telemetry(cfg, raw_bench::experiment_table(), telemetry)
         .expect("router builds");
+    assert_eq!(
+        r.machine.has_compiled_plan(),
+        engine == EngineMode::Compiled,
+        "router must compile its fabric exactly when the compiled engine is selected"
+    );
     for sp in generate(&Workload::peak(bytes, 800)) {
         r.offer(sp.port, sp.release, &sp.packet);
     }
@@ -65,36 +78,90 @@ fn traced_peak_with(
 #[test]
 fn peak_run_is_reproducible() {
     assert_eq!(
-        traced_peak(256, true),
-        traced_peak(256, true),
+        traced_peak(256, EngineMode::EventSkip),
+        traced_peak(256, EngineMode::EventSkip),
         "identical runs diverged"
     );
 }
 
 #[test]
-fn fast_forward_matches_per_cycle_reference() {
-    let (m_skip, t_skip) = traced_peak(256, true);
-    let (m_ref, t_ref) = traced_peak(256, false);
-    assert_eq!(m_skip, m_ref, "metrics diverged between engine modes");
-    assert_eq!(t_skip, t_ref, "trace diverged between engine modes");
+fn every_engine_matches_per_cycle_reference() {
+    let (m_ref, t_ref) = traced_peak(256, EngineMode::PerCycle);
+    for engine in [EngineMode::EventSkip, EngineMode::Compiled] {
+        let (m, t) = traced_peak(256, engine);
+        assert_eq!(m, m_ref, "metrics diverged ({engine:?} vs per-cycle)");
+        assert_eq!(t, t_ref, "trace diverged ({engine:?} vs per-cycle)");
+    }
 }
 
 #[test]
 fn telemetry_sink_never_changes_the_golden_run() {
     // The instrumentation must be observation-only: detached, a no-op
     // NullSink, and a full Recorder all yield byte-identical metrics and
-    // traces, in both engine modes.
-    for ff in [true, false] {
-        let detached = traced_peak_with(256, ff, None);
-        let null = traced_peak_with(256, ff, Some(shared(NullSink)));
+    // traces, in every engine mode.
+    for engine in ALL_ENGINES {
+        let detached = traced_peak_with(256, engine, None);
+        let null = traced_peak_with(256, engine, Some(shared(NullSink)));
         let recorded = traced_peak_with(
             256,
-            ff,
+            engine,
             Some(shared(Recorder::new(16, raw_sim::NUM_STATIC_NETS))),
         );
-        assert_eq!(detached, null, "NullSink perturbed the run (ff={ff})");
-        assert_eq!(detached, recorded, "Recorder perturbed the run (ff={ff})");
+        assert_eq!(detached, null, "NullSink perturbed the run ({engine:?})");
+        assert_eq!(
+            detached, recorded,
+            "Recorder perturbed the run ({engine:?})"
+        );
     }
+}
+
+#[test]
+fn engines_agree_under_an_active_fault_plan() {
+    // The compiled engine must remain bit-identical to the interpreter
+    // when a chaos fault plan is live: corrupted packets, forced lookup
+    // misses, scheduled tile stalls, and input pauses all hit the
+    // fallback-free compiled path.
+    use raw_chaos::{run_chaos, FaultPlan};
+
+    let sched = generate(&Workload::average(128, 120, 11));
+    let mut results = Vec::new();
+    for engine in ALL_ENGINES {
+        let mut cfg = RouterConfig {
+            quantum_words: 32,
+            cut_through: true,
+            ..RouterConfig::default()
+        };
+        cfg.raw.engine = engine;
+        let out = run_chaos(
+            cfg,
+            raw_bench::experiment_table(),
+            &FaultPlan::reference(),
+            &sched,
+            400_000,
+        )
+        .expect("chaos campaign runs");
+        assert!(out.drained, "{engine:?}: campaign wedged");
+        assert!(
+            out.errors.is_empty(),
+            "{engine:?}: conservation errors {:?}",
+            out.errors
+        );
+        results.push((
+            out.fingerprint,
+            out.delivered,
+            out.dropped,
+            out.drops,
+            out.cycles,
+        ));
+    }
+    assert_eq!(
+        results[0], results[1],
+        "event-skip diverged from per-cycle under faults"
+    );
+    assert_eq!(
+        results[0], results[2],
+        "compiled diverged from per-cycle under faults"
+    );
 }
 
 #[test]

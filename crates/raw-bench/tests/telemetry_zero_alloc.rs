@@ -10,8 +10,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use raw_sim::{
-    RawConfig, RawMachine, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram, TileId, TileIo,
-    TileProgram, NET0,
+    EngineMode, RawConfig, RawMachine, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram,
+    TileId, TileIo, TileProgram, NET0,
 };
 use raw_telemetry::{shared, NullSink};
 
@@ -62,9 +62,9 @@ impl TileProgram for EndlessDrain {
 /// bare simulator hot loop must not): tile 0 streams words south to
 /// tile 4 through the static network forever, keeping processors,
 /// switches, and link FIFOs all active every cycle.
-fn streaming_machine(fast_forward: bool) -> RawMachine {
+fn streaming_machine(engine: EngineMode) -> RawMachine {
     let cfg = RawConfig {
-        fast_forward,
+        engine,
         ..RawConfig::default()
     };
     let mut m = RawMachine::new(cfg);
@@ -91,8 +91,16 @@ fn streaming_machine(fast_forward: bool) -> RawMachine {
 
 #[test]
 fn null_sink_steady_state_allocates_nothing() {
-    for ff in [false, true] {
-        let mut m = streaming_machine(ff);
+    for engine in [
+        EngineMode::PerCycle,
+        EngineMode::EventSkip,
+        EngineMode::Compiled,
+    ] {
+        let mut m = streaming_machine(engine);
+        if engine == EngineMode::Compiled {
+            raw_compile::compile_machine(&mut m, &raw_compile::CompileOptions::default())
+                .expect("streaming fabric compiles");
+        }
         m.set_telemetry(shared(NullSink));
         // Warm up: fill pipelines and FIFOs, let any lazy setup happen.
         m.run(2_000);
@@ -102,7 +110,7 @@ fn null_sink_steady_state_allocates_nothing() {
         assert_eq!(
             after - before,
             0,
-            "steady-state cycles allocated with NullSink (fast_forward={ff})"
+            "steady-state cycles allocated with NullSink ({engine:?})"
         );
     }
 }

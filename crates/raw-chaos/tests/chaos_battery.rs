@@ -8,19 +8,19 @@ use proptest::prelude::*;
 use raw_chaos::*;
 use raw_fabric::{FabricConfig, Topology};
 use raw_net::{CorruptRng, Packet};
-use raw_sim::{RawConfig, NUM_STATIC_NETS};
+use raw_sim::{EngineMode, RawConfig, NUM_STATIC_NETS};
 use raw_telemetry::{shared, with_sink, DropReason, Recorder, SharedSink};
 use raw_workloads::{generate, generate_n, Arrivals, Pattern, ScheduledPacket, Workload};
 use raw_xbar::{IngressQueueing, RawRouter, RouterConfig, NPORTS};
 
 /// VOQ ingress (so truncation faults are legal) on the 64-byte quantum.
-fn voq_cfg(fast_forward: bool) -> RouterConfig {
+fn voq_cfg(engine: EngineMode) -> RouterConfig {
     RouterConfig {
         quantum_words: 16,
         cut_through: true,
         queueing: IngressQueueing::Voq,
         raw: RawConfig {
-            fast_forward,
+            engine,
             ..RawConfig::default()
         },
         ..RouterConfig::default()
@@ -110,7 +110,9 @@ proptest! {
     ) {
         let plan = random_plan(seed);
         let sched = generate(&Workload::average(64, 40, wl_seed));
-        let res = run_chaos(voq_cfg(true), chaos_table(), &plan, &sched, 4_000_000).unwrap();
+        let res = run_chaos(
+            voq_cfg(EngineMode::EventSkip), chaos_table(), &plan, &sched, 4_000_000,
+        ).unwrap();
         prop_assert!(res.errors.is_empty(), "plan seed {seed:#x}: {:?}", res.errors);
         prop_assert!(res.drained, "plan seed {seed:#x} wedged");
         prop_assert_eq!(res.offered, sched.len() as u64);
@@ -125,40 +127,47 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
-    /// The same plan and traffic replay bit-identically: per-cycle and
-    /// event-skip engines, and repeated runs of each, all agree on the
-    /// exact delivered words, arrival cycles, drop counters, and final
-    /// cycle count.
+    /// The same plan and traffic replay bit-identically: per-cycle,
+    /// event-skip, and compiled engines, and repeated runs of each, all
+    /// agree on the exact delivered words, arrival cycles, drop
+    /// counters, and final cycle count.
     #[test]
-    fn same_seed_reruns_are_bit_identical_in_both_engine_modes(
+    fn same_seed_reruns_are_bit_identical_in_every_engine_mode(
         seed in any::<u64>(),
         wl_seed in any::<u64>(),
     ) {
         let plan = random_plan(seed);
         let sched = generate(&Workload::average(64, 30, wl_seed));
-        let (ff_a, ff_streams) = chaos_streams(voq_cfg(true), &plan, &sched);
-        let (ff_b, _) = chaos_streams(voq_cfg(true), &plan, &sched);
-        let (pc, pc_streams) = chaos_streams(voq_cfg(false), &plan, &sched);
+        let (ff_a, ff_streams) = chaos_streams(voq_cfg(EngineMode::EventSkip), &plan, &sched);
+        let (ff_b, _) = chaos_streams(voq_cfg(EngineMode::EventSkip), &plan, &sched);
+        let (pc, pc_streams) = chaos_streams(voq_cfg(EngineMode::PerCycle), &plan, &sched);
+        let (co, co_streams) = chaos_streams(voq_cfg(EngineMode::Compiled), &plan, &sched);
         prop_assert_eq!(ff_a, ff_b, "fast-forward rerun diverged (seed {:#x})", seed);
         prop_assert_eq!(ff_a, pc, "engine modes diverged (seed {:#x})", seed);
-        prop_assert_eq!(ff_streams, pc_streams);
+        prop_assert_eq!(co, pc, "compiled engine diverged (seed {:#x})", seed);
+        prop_assert_eq!(ff_streams, pc_streams.clone());
+        prop_assert_eq!(co_streams, pc_streams);
     }
 }
 
 /// Satellite: a zero-rate plan is a no-op wrapper — byte-identical
 /// delivered streams versus the unwrapped router on the fig7-1 peak and
-/// average workloads, in both engine modes.
+/// average workloads, in every engine mode.
 #[test]
 fn zero_rate_plan_is_byte_identical_to_unwrapped_router() {
     let peak = generate(&Workload::peak(64, 60));
     let avg = generate(&Workload::average(64, 60, 42));
     for (name, sched) in [("fig7-1-peak", &peak), ("fig7-1-avg", &avg)] {
-        for ff in [true, false] {
+        for engine in [
+            EngineMode::PerCycle,
+            EngineMode::EventSkip,
+            EngineMode::Compiled,
+        ] {
             let plan = FaultPlan::zero(0xC4A0);
-            let (cf, cs) = chaos_streams(voq_cfg(ff), &plan, sched);
-            let (pf, ps) = plain_streams(voq_cfg(ff), sched);
-            assert_eq!(cs, ps, "{name} ff={ff}: delivered streams differ");
-            assert_eq!(cf, pf, "{name} ff={ff}: fingerprints differ");
+            let (cf, cs) = chaos_streams(voq_cfg(engine), &plan, sched);
+            let (pf, ps) = plain_streams(voq_cfg(engine), sched);
+            assert_eq!(cs, ps, "{name} {engine:?}: delivered streams differ");
+            assert_eq!(cf, pf, "{name} {engine:?}: fingerprints differ");
         }
     }
 }
@@ -200,7 +209,11 @@ fn broken_drop_counters_are_caught_by_conservation() {
     let sched = generate(&Workload::peak(64, 10));
     for i in 0..DropReason::COUNT {
         let sink: SharedSink = shared(Recorder::new(16, NUM_STATIC_NETS));
-        let mut r = RawRouter::new_with_telemetry(voq_cfg(true), chaos_table(), sink.clone());
+        let mut r = RawRouter::new_with_telemetry(
+            voq_cfg(EngineMode::EventSkip),
+            chaos_table(),
+            sink.clone(),
+        );
         for sp in &sched {
             r.offer(sp.port, sp.release, &sp.packet);
         }

@@ -27,9 +27,43 @@ pub struct CoreWatch {
 
 pub type WatchHandle = Arc<Mutex<CoreWatch>>;
 
+/// Pre-decoded stall-check operands for one instruction: the register
+/// source/destination sets [`Instr::sources`] / [`Instr::dest`] would
+/// recompute (allocating a fresh `Vec`) on every tick. Built once at
+/// construction — the kernel IR the schedule-specialization compiler
+/// pass relies on for decode-free interpreted kernels.
+#[derive(Clone, Copy)]
+struct DecodedOperands {
+    srcs: [Reg; 2],
+    nsrcs: u8,
+    dest: Option<Reg>,
+}
+
+impl DecodedOperands {
+    fn of(instr: &Instr) -> DecodedOperands {
+        let v = instr.sources();
+        debug_assert!(v.len() <= 2, "instruction reads more than two sources");
+        let mut srcs = [ZERO; 2];
+        srcs[..v.len()].copy_from_slice(&v);
+        DecodedOperands {
+            srcs,
+            nsrcs: v.len() as u8,
+            dest: instr.dest(),
+        }
+    }
+
+    #[inline]
+    fn srcs(&self) -> &[Reg] {
+        &self.srcs[..self.nsrcs as usize]
+    }
+}
+
 /// An interpreted tile processor.
 pub struct IsaCore {
     instrs: Vec<Instr>,
+    /// Per-instruction pre-decoded operand sets, same indexing as
+    /// `instrs`.
+    decoded: Vec<DecodedOperands>,
     regs: [u32; 32],
     pc: usize,
     /// Remaining branch-mispredict bubble cycles.
@@ -52,8 +86,10 @@ impl IsaCore {
                 panic!("invalid instruction at index {i}: {e}");
             }
         }
+        let decoded = instrs.iter().map(DecodedOperands::of).collect();
         IsaCore {
             instrs,
+            decoded,
             regs: [0; 32],
             pc: 0,
             penalty: 0,
@@ -227,12 +263,14 @@ impl TileProgram for IsaCore {
             return;
         };
 
-        // Stall checks common to every instruction shape.
-        let srcs = instr.sources();
-        if !self.net_inputs_ready(io, &srcs) {
+        // Stall checks common to every instruction shape, over the
+        // operand sets pre-decoded at construction (no per-tick
+        // allocation).
+        let ops = self.decoded[self.pc];
+        if !self.net_inputs_ready(io, ops.srcs()) {
             return;
         }
-        if !self.dest_ready(io, instr.dest()) {
+        if !self.dest_ready(io, ops.dest) {
             return;
         }
 

@@ -1,0 +1,855 @@
+//! Schedule-specialized execution: pre-resolved switch programs and the
+//! machine loop that runs them.
+//!
+//! The interpreter in [`machine`][crate::machine] re-derives, every cycle
+//! and for every switch, facts that are fixed at construction time: which
+//! routes share a source (and so fire together), which FIFO each
+//! `SwPort` names, whether a mesh direction crosses to a neighbor tile or
+//! leaves the chip, and which edge device (if any) sits on an off-grid
+//! link. A [`CompiledPlan`] hoists all of that out of the inner loop: each
+//! switch instruction becomes a list of [`CompiledRoute`]s whose source
+//! and destination are direct FIFO/device coordinates, and the per-cycle
+//! work reduces to visibility checks, space checks, and word moves.
+//!
+//! ## Why bit-identity holds
+//!
+//! The compiled step functions perform the *same state transitions in the
+//! same order* as the interpreter — they only skip re-deriving constants:
+//!
+//! * Route endpoints are resolved once, against the same `GridDim` /
+//!   device-table lookups the interpreter performs per cycle, and
+//!   `RawMachine::install_compiled_plan` re-lowers every program
+//!   independently and refuses any plan that disagrees.
+//! * Route *grouping* is not precomputed, because it cannot be: the
+//!   interpreter forms a group from the not-yet-fired routes at and after
+//!   the scan point, so a multicast group refused on one cycle may fire a
+//!   strict subset on the next scan position. Instructions whose sources
+//!   are pairwise distinct (every group a singleton — the common case for
+//!   generated schedules) take a straight scan; the rest replay the
+//!   interpreter's exact dynamic-subgroup scan over pre-resolved routes.
+//! * Stall accounting (`switch_stall_cycles`, first-refused-group cause
+//!   attribution), control transitions, PC wraparound halts, and pending
+//!   PC application copy the interpreter's logic line for line.
+//! * The idle-tile fast path only replaces ticks that are statically
+//!   no-ops (`TileProgram::is_idle_stub`), recording the same
+//!   `Activity::Idle`; the injector fast path only skips devices whose
+//!   `pull_in` is statically `None` (`EdgeDevice::is_injector`).
+//!
+//! Any structural mutation (new program, switch program, or device
+//! binding) drops the plan, and [`EngineMode::Compiled`][crate::machine::EngineMode::Compiled] degrades to the
+//! event-skip interpreter until a plan is reinstalled — the transparent
+//! fallback boundary. The determinism suite and a differential proptest
+//! hold all engines to bit-identical fingerprints.
+
+use crate::geom::TileId;
+use crate::machine::RawMachine;
+use crate::program::TileIo;
+use crate::switch::{SwPort, SwitchCtrl, SwitchProgram, NUM_STATIC_NETS};
+use crate::trace::Activity;
+use raw_telemetry::SwitchStallCause;
+
+/// A pre-resolved route source: the exact FIFO the word is popped from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompiledSrc {
+    /// The processor's shared `$csto` FIFO at `tile`.
+    Csto { tile: u16 },
+    /// `link_in[tile][net][dir]`.
+    Link { tile: u16, net: u8, dir: u8 },
+}
+
+/// A pre-resolved route destination: the exact FIFO or device the word is
+/// pushed into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompiledDst {
+    /// The processor-facing `$csti` FIFO for `net` at `tile`.
+    Csti { tile: u16, net: u8 },
+    /// The neighbor tile's link input FIFO `link_in[tile][net][dir]`.
+    Link { tile: u16, net: u8, dir: u8 },
+    /// A bound edge device (index into the machine's device list).
+    Device { index: u16 },
+    /// An unbound edge: the word leaves the chip and is counted in
+    /// `edge_drops`.
+    Drop,
+}
+
+/// One switch route with both endpoints resolved. Routes sharing a
+/// `CompiledSrc` within one instruction form a multicast group, exactly
+/// as interpreter routes sharing `(net, src)` do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CompiledRoute {
+    pub src: CompiledSrc,
+    pub dst: CompiledDst,
+}
+
+/// One specialized switch instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledInstr {
+    /// Routes in the interpreter's route-list order (the `fired` bitmask
+    /// indexes this list, bit *i* ↔ `routes[i]`).
+    pub routes: Vec<CompiledRoute>,
+    /// True when every route's source is distinct — every multicast group
+    /// is a singleton, so the executor can scan routes independently
+    /// without forming groups.
+    pub distinct_sources: bool,
+    /// `fired == all_mask` completes the instruction
+    /// (`(1 << routes.len()) - 1`; 0 for a route-less instruction).
+    pub all_mask: u32,
+    pub ctrl: SwitchCtrl,
+}
+
+/// A whole switch program specialized for one `(tile, net)`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CompiledSwitch {
+    pub instrs: Vec<CompiledInstr>,
+}
+
+/// An edge device that may inject, with its input FIFO coordinates
+/// pre-resolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InjectorSlot {
+    /// Index into the machine's device list (bind order).
+    pub device: u16,
+    pub tile: u16,
+    pub net: u8,
+    pub dir: u8,
+}
+
+/// A schedule-specialized execution plan for one machine, installed via
+/// `RawMachine::install_compiled_plan` and consumed by
+/// [`EngineMode::Compiled`][crate::machine::EngineMode::Compiled].
+#[derive(Clone, Debug, Default)]
+pub struct CompiledPlan {
+    /// Indexed by `tile * NUM_STATIC_NETS + net`. `None` runs that switch
+    /// on the interpreter (per-switch fallback).
+    pub switches: Vec<Option<CompiledSwitch>>,
+    /// Devices polled for injection each cycle, in device-index order
+    /// (the interpreter's poll order). Pure sinks are omitted.
+    pub injectors: Vec<InjectorSlot>,
+    /// Tiles whose processor tick is a statically known no-op.
+    pub idle_tiles: Vec<bool>,
+}
+
+/// Lower one switch program to its specialized form. This is the
+/// reference lowering raw-sim trusts: `install_compiled_plan` compares
+/// externally compiled programs against it, so an external compiler and
+/// this function must agree route by route for a plan to install.
+pub(crate) fn lower_switch_program(
+    m: &RawMachine,
+    tile: TileId,
+    net: usize,
+    prog: &SwitchProgram,
+) -> CompiledSwitch {
+    let t = tile.index();
+    let instrs = prog
+        .instrs
+        .iter()
+        .map(|i| {
+            let routes: Vec<CompiledRoute> = i
+                .routes
+                .iter()
+                .map(|r| {
+                    debug_assert_eq!(r.net, net);
+                    let src = match r.src {
+                        SwPort::Proc => CompiledSrc::Csto { tile: t as u16 },
+                        p => CompiledSrc::Link {
+                            tile: t as u16,
+                            net: r.net as u8,
+                            dir: p.dir().unwrap().index() as u8,
+                        },
+                    };
+                    let dst = match r.dst {
+                        SwPort::Proc => CompiledDst::Csti {
+                            tile: t as u16,
+                            net: r.net as u8,
+                        },
+                        p => {
+                            let d = p.dir().unwrap();
+                            match m.dim().neighbor(tile, d) {
+                                Some(nb) => CompiledDst::Link {
+                                    tile: nb.index() as u16,
+                                    net: r.net as u8,
+                                    dir: d.opposite().index() as u8,
+                                },
+                                None => match m.device_at(t, r.net, d.index()) {
+                                    Some(i) => CompiledDst::Device { index: i as u16 },
+                                    None => CompiledDst::Drop,
+                                },
+                            }
+                        }
+                    };
+                    CompiledRoute { src, dst }
+                })
+                .collect();
+            let distinct_sources = routes
+                .iter()
+                .enumerate()
+                .all(|(j, a)| routes[j + 1..].iter().all(|b| b.src != a.src));
+            CompiledInstr {
+                all_mask: ((1u64 << routes.len()) - 1) as u32,
+                distinct_sources,
+                routes,
+                ctrl: i.ctrl,
+            }
+        })
+        .collect();
+    CompiledSwitch { instrs }
+}
+
+impl CompiledPlan {
+    /// Check this plan against the machine it claims to specialize:
+    /// every compiled switch must equal raw-sim's own lowering of the
+    /// installed program, the idle set must only name idle-stub tiles,
+    /// and the injector list must be exactly the machine's injecting
+    /// devices in poll order. A plan that passes cannot change any
+    /// machine-observable behavior.
+    pub fn validate(&self, m: &RawMachine) -> Result<(), String> {
+        let n = m.dim().tiles();
+        if self.switches.len() != n * NUM_STATIC_NETS {
+            return Err(format!(
+                "plan covers {} switch slots, machine has {}",
+                self.switches.len(),
+                n * NUM_STATIC_NETS
+            ));
+        }
+        if self.idle_tiles.len() != n {
+            return Err(format!(
+                "plan covers {} tiles, machine has {n}",
+                self.idle_tiles.len()
+            ));
+        }
+        for t in 0..n {
+            let tile = TileId(t as u16);
+            if self.idle_tiles[t] && !m.program_is_idle(tile) {
+                return Err(format!("tile {t} marked idle but runs a program"));
+            }
+            for net in 0..NUM_STATIC_NETS {
+                if let Some(cs) = &self.switches[t * NUM_STATIC_NETS + net] {
+                    let reference = lower_switch_program(m, tile, net, m.switch_program(tile, net));
+                    if *cs != reference {
+                        return Err(format!(
+                            "compiled switch (tile {t}, net {net}) disagrees with the \
+                             reference lowering"
+                        ));
+                    }
+                }
+            }
+        }
+        let expected: Vec<InjectorSlot> = m
+            .bound_device_ports()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| m.device_is_injector(i))
+            .map(|(i, p)| InjectorSlot {
+                device: i as u16,
+                tile: p.tile.index() as u16,
+                net: p.net as u8,
+                dir: p.dir.index() as u8,
+            })
+            .collect();
+        if self.injectors != expected {
+            return Err("plan injector list disagrees with the machine's bound devices".into());
+        }
+        Ok(())
+    }
+}
+
+impl RawMachine {
+    /// Install a schedule-specialized plan, after validating it against
+    /// the machine's current programs and devices (see
+    /// [`CompiledPlan::validate`]). The plan takes effect when the engine
+    /// is [`EngineMode::Compiled`][crate::machine::EngineMode::Compiled]; it is dropped automatically by any
+    /// structural mutation.
+    pub fn install_compiled_plan(&mut self, plan: CompiledPlan) -> Result<(), String> {
+        plan.validate(self)?;
+        self.plan = Some(Box::new(plan));
+        Ok(())
+    }
+
+    /// Drop any installed plan; [`EngineMode::Compiled`][crate::machine::EngineMode::Compiled] then falls back
+    /// to the event-skip interpreter.
+    pub fn clear_compiled_plan(&mut self) {
+        self.plan = None;
+    }
+
+    /// Is a compiled plan currently installed?
+    pub fn has_compiled_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Lower every installed switch program with raw-sim's reference
+    /// lowering and install the resulting full-coverage plan. External
+    /// compilers ([`install_compiled_plan`][Self::install_compiled_plan])
+    /// can do better reporting; the result of executing either is
+    /// identical.
+    pub fn compile_reference_plan(&mut self) {
+        let n = self.dim().tiles();
+        let mut switches = Vec::with_capacity(n * NUM_STATIC_NETS);
+        let mut idle_tiles = Vec::with_capacity(n);
+        for t in 0..n {
+            let tile = TileId(t as u16);
+            for net in 0..NUM_STATIC_NETS {
+                switches.push(Some(lower_switch_program(
+                    self,
+                    tile,
+                    net,
+                    self.switch_program(tile, net),
+                )));
+            }
+            idle_tiles.push(self.program_is_idle(tile));
+        }
+        let injectors = self
+            .bound_device_ports()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.device_is_injector(i))
+            .map(|(i, p)| InjectorSlot {
+                device: i as u16,
+                tile: p.tile.index() as u16,
+                net: p.net as u8,
+                dir: p.dir.index() as u8,
+            })
+            .collect();
+        self.plan = Some(Box::new(CompiledPlan {
+            switches,
+            injectors,
+            idle_tiles,
+        }));
+    }
+
+    /// One full machine cycle through the compiled plan. Mirrors
+    /// `step_cycle` phase for phase; returns the same quietness verdict.
+    pub(crate) fn step_cycle_compiled(&mut self, plan: &CompiledPlan) -> bool {
+        let cycle = self.cycle;
+        let mut progress = false;
+
+        // 1. Device injection — injecting devices only; skipped sinks
+        // statically return `None` from `pull_in`.
+        for inj in &plan.injectors {
+            let fifo = &mut self.link_in[inj.tile as usize][inj.net as usize][inj.dir as usize];
+            if fifo.has_space() {
+                if let Some(w) = self.devices[inj.device as usize].pull_in(cycle) {
+                    let ok = fifo.push(w, cycle);
+                    debug_assert!(ok);
+                    progress = true;
+                }
+            }
+        }
+
+        // 2. Tile processors, with the idle-stub fast path.
+        progress |= self.step_processors_compiled(cycle, plan);
+
+        // 3. Switch processors: specialized where compiled, interpreted
+        // where not (per-switch fallback).
+        let mut sw_ctrl = false;
+        let n = self.tiles.len();
+        for t in 0..n {
+            for net in 0..NUM_STATIC_NETS {
+                let (p, c) = match &plan.switches[t * NUM_STATIC_NETS + net] {
+                    Some(cs) => self.step_switch_compiled(t, net, cs, cycle),
+                    None => self.step_switch(t, net, cycle),
+                };
+                progress |= p;
+                sw_ctrl |= c;
+            }
+        }
+
+        // 4. Dynamic networks.
+        for d in &mut self.dyn_nets {
+            d.step(cycle);
+        }
+        let dyn_moved: u64 = self.dyn_nets.iter().map(|d| d.words_moved).sum();
+        if dyn_moved != self.dyn_moved_before {
+            progress = true;
+            self.dyn_moved_before = dyn_moved;
+        }
+
+        if progress {
+            self.last_progress = cycle;
+        }
+        self.cycle += 1;
+        !progress && !sw_ctrl
+    }
+
+    /// The processor phase with the idle-stub fast path. Identical
+    /// recording (stats, trace, telemetry, hints) to `step_processors`.
+    fn step_processors_compiled(&mut self, cycle: u64, plan: &CompiledPlan) -> bool {
+        let mut progress = false;
+        let n = self.tiles.len();
+        let cols = self.cfg.dim.cols as u32;
+        for t in 0..n {
+            while let Some(&(s, e)) = self.stall_windows[t].first() {
+                if cycle < s {
+                    break;
+                }
+                self.stall_windows[t].remove(0);
+                let su = &mut self.tiles[t].stall_until;
+                *su = (*su).max(e);
+            }
+            let (activity, hint) = if cycle < self.tiles[t].stall_until {
+                (Activity::CacheStall, false)
+            } else if plan.idle_tiles[t] {
+                // An idle stub's tick is a no-op: it records Idle and no
+                // token-wait hint, exactly what this shortcut records.
+                (Activity::Idle, false)
+            } else {
+                let mut program = self.tiles[t].program.take();
+                let outcome = if let Some(prog) = program.as_mut() {
+                    let tile = &mut self.tiles[t];
+                    let col = (t as u32) % cols;
+                    let col_hops = col.min(cols - 1 - col);
+                    let mut io = TileIo::new(
+                        cycle,
+                        TileId(t as u16),
+                        &mut tile.csti,
+                        &mut tile.csto,
+                        &mut tile.switch_state,
+                        &mut tile.cache,
+                        &mut tile.mem,
+                        self.cfg.local_mem_words,
+                        &mut self.dyn_nets,
+                        col_hops,
+                        self.cfg.proc_recv_delay,
+                        &mut tile.stall_until,
+                    );
+                    prog.tick(&mut io);
+                    let hint = io.token_wait_hint;
+                    (io.take_activity(), hint)
+                } else {
+                    (Activity::Idle, false)
+                };
+                self.tiles[t].program = program;
+                outcome
+            };
+            self.tiles[t].stats.record(activity);
+            self.last_activity[t] = activity;
+            self.token_hint[t] = hint;
+            if let Some(tr) = &mut self.trace {
+                tr.record(t, cycle, activity);
+            }
+            progress |= activity == Activity::Busy;
+        }
+        if let Some(sink) = self.active_sink() {
+            let mut g = sink.lock().unwrap();
+            for t in 0..n {
+                g.tile_cycles(
+                    t as u16,
+                    super::machine::refine_state(self.last_activity[t], self.token_hint[t]),
+                    1,
+                );
+            }
+        }
+        progress
+    }
+
+    /// One specialized switch tick. Mirrors `step_switch` exactly:
+    /// pending-PC application, halt handling, PC-overflow halt as a
+    /// control transition, firing, completion, control flow, stall
+    /// accounting, and first-refused-group cause attribution.
+    fn step_switch_compiled(
+        &mut self,
+        t: usize,
+        net: usize,
+        cs: &CompiledSwitch,
+        cycle: u64,
+    ) -> (bool, bool) {
+        self.tiles[t].switch_state[net].apply_pending_pc(cycle);
+        if self.tiles[t].switch_state[net].halted {
+            return (false, false);
+        }
+        let pc = self.tiles[t].switch_state[net].pc;
+        if pc >= cs.instrs.len() {
+            self.tiles[t].switch_state[net].halted = true;
+            return (false, true);
+        }
+        let instr = &cs.instrs[pc];
+        let mut fired = self.tiles[t].switch_state[net].fired;
+        let mut any_fired = false;
+        let attribute = self.telemetry_active;
+        let mut block_cause: Option<SwitchStallCause> = None;
+        if instr.distinct_sources {
+            // Every group is a singleton: scan each not-yet-fired route
+            // once, in list order (the interpreter's scan order).
+            for (j, r) in instr.routes.iter().enumerate() {
+                if fired & (1 << j) != 0 {
+                    continue;
+                }
+                match self.try_fire_single(r, cycle) {
+                    Ok(()) => {
+                        fired |= 1 << j;
+                        any_fired = true;
+                    }
+                    Err(cause) => {
+                        if attribute && block_cause.is_none() {
+                            block_cause = Some(cause);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Dynamic-subgroup scan, replayed exactly as the interpreter
+            // forms groups: at each unfired position, the group is every
+            // not-yet-fired route *at or after* it with the same source.
+            let routes = instr.routes.as_slice();
+            let nroutes = routes.len();
+            let mut gi = 0;
+            while gi < nroutes {
+                if fired & (1 << gi) != 0 {
+                    gi += 1;
+                    continue;
+                }
+                let lead_src = routes[gi].src;
+                let mut group: u32 = 0;
+                for (j, r) in routes.iter().enumerate().skip(gi) {
+                    if fired & (1 << j) == 0 && r.src == lead_src {
+                        group |= 1 << j;
+                    }
+                }
+                match self.try_fire_group_compiled(routes, group, cycle) {
+                    Ok(()) => {
+                        fired |= group;
+                        any_fired = true;
+                    }
+                    Err(cause) => {
+                        if attribute && block_cause.is_none() {
+                            block_cause = Some(cause);
+                        }
+                    }
+                }
+                gi += 1;
+            }
+        }
+        self.tiles[t].switch_state[net].fired = fired;
+        let complete = fired == instr.all_mask;
+        let mut ctrl_transition = false;
+        if complete {
+            let prog_len = cs.instrs.len();
+            let st = &mut self.tiles[t].switch_state[net];
+            st.fired = 0;
+            match instr.ctrl {
+                SwitchCtrl::Next => {
+                    st.pc += 1;
+                    if st.pc >= prog_len {
+                        st.halted = true;
+                    }
+                }
+                SwitchCtrl::Jump(pc) => st.pc = pc,
+                SwitchCtrl::WaitPc => st.halted = true,
+            }
+            ctrl_transition = !any_fired;
+        } else if !any_fired {
+            self.tiles[t].switch_stall_cycles += 1;
+            if let Some(cause) = block_cause {
+                self.last_switch_cause[t][net] = cause;
+                if let Some(sink) = self.active_sink() {
+                    sink.lock()
+                        .unwrap()
+                        .switch_stalls(t as u16, net as u8, cause, 1);
+                }
+            }
+        }
+        (any_fired, ctrl_transition)
+    }
+
+    /// Is the word at `src` visible to the switch this cycle?
+    #[inline]
+    fn src_visible(&self, src: CompiledSrc, cycle: u64) -> bool {
+        match src {
+            CompiledSrc::Csto { tile } => self.tiles[tile as usize].csto.has_visible(cycle, 0),
+            CompiledSrc::Link { tile, net, dir } => {
+                self.link_in[tile as usize][net as usize][dir as usize].has_visible(cycle, 0)
+            }
+        }
+    }
+
+    /// Would `dst` accept a word this cycle? On refusal, the stall cause
+    /// in the interpreter's attribution order.
+    #[inline]
+    fn dst_accepts(&self, dst: CompiledDst, cycle: u64) -> Result<(), SwitchStallCause> {
+        match dst {
+            CompiledDst::Csti { tile, net } => {
+                if self.tiles[tile as usize].csti[net as usize].has_space() {
+                    Ok(())
+                } else {
+                    Err(SwitchStallCause::FifoFull)
+                }
+            }
+            CompiledDst::Link { tile, net, dir } => {
+                if self.link_in[tile as usize][net as usize][dir as usize].has_space() {
+                    Ok(())
+                } else {
+                    Err(SwitchStallCause::FifoFull)
+                }
+            }
+            CompiledDst::Device { index } => {
+                if self.devices[index as usize].can_push(cycle) {
+                    Ok(())
+                } else {
+                    Err(SwitchStallCause::DeviceBackpressure)
+                }
+            }
+            CompiledDst::Drop => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn pop_src(&mut self, src: CompiledSrc, cycle: u64) -> u32 {
+        match src {
+            CompiledSrc::Csto { tile } => self.tiles[tile as usize]
+                .csto
+                .pop_visible(cycle, 0)
+                .unwrap(),
+            CompiledSrc::Link { tile, net, dir } => self.link_in[tile as usize][net as usize]
+                [dir as usize]
+                .pop_visible(cycle, 0)
+                .unwrap(),
+        }
+    }
+
+    #[inline]
+    fn push_dst(&mut self, dst: CompiledDst, word: u32, cycle: u64) {
+        match dst {
+            CompiledDst::Csti { tile, net } => {
+                let ok = self.tiles[tile as usize].csti[net as usize].push(word, cycle);
+                debug_assert!(ok);
+            }
+            CompiledDst::Link { tile, net, dir } => {
+                let ok = self.link_in[tile as usize][net as usize][dir as usize].push(word, cycle);
+                debug_assert!(ok);
+            }
+            CompiledDst::Device { index } => self.devices[index as usize].push_out(word, cycle),
+            CompiledDst::Drop => self.edge_drops += 1,
+        }
+        self.routes_fired += 1;
+    }
+
+    /// Check-and-fire for a singleton group: source visible and the one
+    /// destination willing, or the refusal cause.
+    #[inline]
+    fn try_fire_single(&mut self, r: &CompiledRoute, cycle: u64) -> Result<(), SwitchStallCause> {
+        if !self.src_visible(r.src, cycle) {
+            return Err(SwitchStallCause::FifoEmpty);
+        }
+        self.dst_accepts(r.dst, cycle)?;
+        let word = self.pop_src(r.src, cycle);
+        self.push_dst(r.dst, word, cycle);
+        Ok(())
+    }
+
+    /// Check-and-fire for a multicast group (`group` is a bitmask over
+    /// `routes`, all sharing a source): the shared source must be visible
+    /// and every member destination willing; the popped word is
+    /// duplicated across members in list order.
+    fn try_fire_group_compiled(
+        &mut self,
+        routes: &[CompiledRoute],
+        group: u32,
+        cycle: u64,
+    ) -> Result<(), SwitchStallCause> {
+        let lead = routes[group.trailing_zeros() as usize];
+        if !self.src_visible(lead.src, cycle) {
+            return Err(SwitchStallCause::FifoEmpty);
+        }
+        let mut bits = group;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.dst_accepts(routes[j].dst, cycle)?;
+        }
+        let word = self.pop_src(lead.src, cycle);
+        let mut bits = group;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.push_dst(routes[j].dst, word, cycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{EdgePort, WordSink, WordSource};
+    use crate::geom::{Dir, GridDim};
+    use crate::machine::EngineMode;
+    use crate::machine::RawConfig;
+    use crate::switch::{Route, SwitchInstr, NET0};
+
+    fn fingerprint(m: &RawMachine) -> Vec<u64> {
+        let mut v = vec![m.cycle(), m.edge_drops, m.routes_fired];
+        for t in 0..m.dim().tiles() {
+            let tile = TileId(t as u16);
+            v.extend(m.stats(tile).counts.iter().copied());
+            v.push(m.switch_stall_cycles(tile));
+            let (pc, halted) = m.switch_status(tile, NET0);
+            v.push(pc as u64);
+            v.push(halted as u64);
+        }
+        v
+    }
+
+    /// West-to-east pass-through on the top row, fed by a source and
+    /// drained by a throttled sink (exercises device backpressure).
+    fn build(engine: EngineMode) -> RawMachine {
+        let mut cfg = RawConfig {
+            dim: GridDim { rows: 2, cols: 2 },
+            engine,
+            ..RawConfig::default()
+        };
+        cfg.local_mem_words = 1 << 12;
+        let mut m = RawMachine::new(cfg);
+        for t in [0usize, 1] {
+            m.set_switch_program(
+                TileId(t as u16),
+                NET0,
+                SwitchProgram::new(vec![SwitchInstr::new(
+                    vec![Route::new(NET0, SwPort::W, SwPort::E)],
+                    SwitchCtrl::Jump(0),
+                )]),
+            );
+        }
+        let words: Vec<u32> = (0..64).collect();
+        m.bind_device(
+            EdgePort {
+                tile: TileId(0),
+                dir: Dir::West,
+                net: NET0,
+            },
+            Box::new(WordSource::new(words)),
+        );
+        m.bind_device(
+            EdgePort {
+                tile: TileId(1),
+                dir: Dir::East,
+                net: NET0,
+            },
+            Box::new(WordSink::rate_limited(2).0),
+        );
+        m
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_passthrough() {
+        let mut reference = build(EngineMode::PerCycle);
+        reference.run(400);
+        for engine in [EngineMode::EventSkip, EngineMode::Compiled] {
+            let mut m = build(engine);
+            if engine == EngineMode::Compiled {
+                m.compile_reference_plan();
+                assert!(m.has_compiled_plan());
+            }
+            m.run(400);
+            assert_eq!(fingerprint(&m), fingerprint(&reference), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_mode_without_plan_falls_back() {
+        let mut reference = build(EngineMode::PerCycle);
+        reference.run(300);
+        // Engine says Compiled but no plan was installed: transparently
+        // the event-skip interpreter.
+        let mut m = build(EngineMode::Compiled);
+        assert!(!m.has_compiled_plan());
+        m.run(300);
+        assert_eq!(fingerprint(&m), fingerprint(&reference));
+    }
+
+    #[test]
+    fn partial_fallback_plan_matches() {
+        let mut reference = build(EngineMode::PerCycle);
+        reference.run(400);
+        let mut m = build(EngineMode::Compiled);
+        m.compile_reference_plan();
+        // Knock one switch back to the interpreter: mixed execution must
+        // still be bit-identical.
+        let mut plan = (*m.plan.take().unwrap()).clone();
+        plan.switches[0] = None;
+        m.install_compiled_plan(plan).unwrap();
+        m.run(400);
+        assert_eq!(fingerprint(&m), fingerprint(&reference));
+    }
+
+    #[test]
+    fn structural_mutation_invalidates_plan() {
+        let mut m = build(EngineMode::Compiled);
+        m.compile_reference_plan();
+        assert!(m.has_compiled_plan());
+        m.set_switch_program(TileId(3), NET0, SwitchProgram::idle());
+        assert!(!m.has_compiled_plan());
+    }
+
+    #[test]
+    fn stale_plan_rejected() {
+        let mut m = build(EngineMode::Compiled);
+        m.compile_reference_plan();
+        let plan = (*m.plan.take().unwrap()).clone();
+        m.set_switch_program(
+            TileId(0),
+            NET0,
+            SwitchProgram::new(vec![SwitchInstr::new(
+                vec![Route::new(NET0, SwPort::W, SwPort::Proc)],
+                SwitchCtrl::Jump(0),
+            )]),
+        );
+        let err = m.install_compiled_plan(plan).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    /// Multicast with one destination backpressured: the interpreter
+    /// fires the unblocked subset from a later scan position, and the
+    /// compiled grouped scan must reproduce that exactly.
+    #[test]
+    fn multicast_partial_block_matches_interpreter() {
+        let build = |engine: EngineMode| {
+            let cfg = RawConfig {
+                dim: GridDim { rows: 1, cols: 2 },
+                engine,
+                ..RawConfig::default()
+            };
+            let mut m = RawMachine::new(cfg);
+            // Tile 0 duplicates each westbound word to east (tile 1) and
+            // to its own processor csti. Nothing drains csti, so it fills
+            // and blocks that branch while the east branch keeps going.
+            m.set_switch_program(
+                TileId(0),
+                NET0,
+                SwitchProgram::new(vec![SwitchInstr::new(
+                    vec![
+                        Route::new(NET0, SwPort::W, SwPort::Proc),
+                        Route::new(NET0, SwPort::W, SwPort::E),
+                    ],
+                    SwitchCtrl::Jump(0),
+                )]),
+            );
+            // Tile 1 forwards east off-grid (unbound: drops).
+            m.set_switch_program(
+                TileId(1),
+                NET0,
+                SwitchProgram::new(vec![SwitchInstr::new(
+                    vec![Route::new(NET0, SwPort::W, SwPort::E)],
+                    SwitchCtrl::Jump(0),
+                )]),
+            );
+            m.bind_device(
+                EdgePort {
+                    tile: TileId(0),
+                    dir: Dir::West,
+                    net: NET0,
+                },
+                Box::new(WordSource::new(0u32..32)),
+            );
+            m
+        };
+        let mut reference = build(EngineMode::PerCycle);
+        reference.run(200);
+        let mut compiled = build(EngineMode::Compiled);
+        compiled.compile_reference_plan();
+        compiled.run(200);
+        assert_eq!(fingerprint(&compiled), fingerprint(&reference));
+        // The blocked csti branch must have left residue: proves the
+        // partial-block path actually ran.
+        let (_, csti0, _) = reference.proc_queue_occupancy(TileId(0));
+        assert!(csti0 > 0);
+    }
+}

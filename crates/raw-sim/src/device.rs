@@ -61,6 +61,15 @@ pub trait EdgeDevice: Send {
         Some(now)
     }
 
+    /// May [`EdgeDevice::pull_in`] ever return a word or have a side
+    /// effect? Pure output-side devices (sinks) return false, letting a
+    /// compiled execution plan drop them from the per-cycle injection
+    /// poll entirely. The conservative default keeps custom devices
+    /// correct.
+    fn is_injector(&self) -> bool {
+        true
+    }
+
     /// Downcasting support so callers can retrieve concrete devices from a
     /// machine after a run.
     fn as_any(&self) -> &dyn Any;
@@ -151,6 +160,10 @@ impl WordSink {
 }
 
 impl EdgeDevice for WordSink {
+    fn is_injector(&self) -> bool {
+        false
+    }
+
     fn can_push(&self, cycle: u64) -> bool {
         match self.last_accept {
             Some(last) => cycle >= last + self.interval,
@@ -205,6 +218,10 @@ impl Default for NullSink {
 }
 
 impl EdgeDevice for NullSink {
+    fn is_injector(&self) -> bool {
+        false
+    }
+
     fn push_out(&mut self, _word: u32, _cycle: u64) {
         self.dropped += 1;
     }

@@ -37,6 +37,7 @@
 //! belongs to the programs, not the fabric.
 
 pub mod cache;
+pub mod compiled;
 pub mod device;
 pub mod dynamic;
 pub mod fifo;
@@ -47,11 +48,15 @@ pub mod switch;
 pub mod trace;
 
 pub use cache::{Access, CacheConfig, DCache, MissModel};
+pub use compiled::{
+    CompiledDst, CompiledInstr, CompiledPlan, CompiledRoute, CompiledSrc, CompiledSwitch,
+    InjectorSlot,
+};
 pub use device::{EdgeDevice, EdgePort, NullSink, SinkHandle, WordSink, WordSource};
 pub use dynamic::{pack_header, unpack_header, DynNet};
 pub use fifo::TsFifo;
 pub use geom::{Dir, GridDim, TileId};
-pub use machine::{QuiescenceReport, RawConfig, RawMachine};
+pub use machine::{EngineMode, QuiescenceReport, RawConfig, RawMachine};
 pub use program::{IdleProgram, TileIo, TileProgram};
 pub use switch::{
     NetId, Route, SwPort, SwitchCtrl, SwitchInstr, SwitchProgram, SwitchState,

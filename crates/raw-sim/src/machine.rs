@@ -29,7 +29,7 @@ use raw_telemetry::{SharedSink, SwitchStallCause, TileState};
 /// reclassifies cycles that would otherwise read as idle or
 /// blocked-receive while waiting on the crossbar grant protocol.
 #[inline]
-fn refine_state(a: Activity, token_hint: bool) -> TileState {
+pub(crate) fn refine_state(a: Activity, token_hint: bool) -> TileState {
     match a {
         Activity::Busy => TileState::Busy,
         Activity::Idle if token_hint => TileState::TokenWait,
@@ -38,6 +38,35 @@ fn refine_state(a: Activity, token_hint: bool) -> TileState {
         Activity::BlockedRecv if token_hint => TileState::TokenWait,
         Activity::BlockedRecv => TileState::FifoEmpty,
         Activity::CacheStall => TileState::CacheStall,
+    }
+}
+
+/// How the machine advances simulated time. All three engines produce
+/// bit-identical results — statistics, traces, telemetry, word timing —
+/// on every workload; they differ only in how much host work each
+/// simulated cycle costs. The determinism test suite compares all modes
+/// pairwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineMode {
+    /// Step every cycle through the interpreter. The reference engine.
+    PerCycle,
+    /// Interpret busy cycles, but jump over provably quiet stretches in
+    /// bulk (event-skip fast-forward). The default.
+    EventSkip,
+    /// Run schedule-specialized switch programs (see [`crate::compiled`])
+    /// with decode, endpoint resolution, and device lookups resolved at
+    /// compile time, plus event-skip over quiet stretches. Falls back to
+    /// the interpreter transparently — per switch for uncompiled
+    /// programs, and machine-wide whenever no compiled plan is installed
+    /// (e.g. after a structural mutation invalidates it).
+    Compiled,
+}
+
+impl EngineMode {
+    /// May `run` jump over provably quiet stretches of cycles?
+    #[inline]
+    pub fn skips(self) -> bool {
+        !matches!(self, EngineMode::PerCycle)
     }
 }
 
@@ -62,13 +91,27 @@ pub struct RawConfig {
     pub cdni_capacity: usize,
     /// Clock frequency used to convert cycles to seconds (Raw: 250 MHz).
     pub clock_mhz: u64,
-    /// When true (the default), `run` and `run_until_quiescent` may jump
-    /// over provably quiet stretches of cycles instead of stepping each
-    /// one (event-skip fast-forward). Results — statistics, traces, word
-    /// timing — are bit-identical to per-cycle stepping; set false to
-    /// force the per-cycle reference path (the determinism tests compare
-    /// the two).
-    pub fast_forward: bool,
+    /// Which engine advances simulated time (see [`EngineMode`]). Every
+    /// mode is bit-identical to [`EngineMode::PerCycle`]; they trade host
+    /// work per simulated cycle.
+    pub engine: EngineMode,
+}
+
+impl RawConfig {
+    /// Compatibility shim for the old `fast_forward: bool` field: `true`
+    /// maps to [`EngineMode::EventSkip`], `false` to
+    /// [`EngineMode::PerCycle`].
+    #[deprecated(note = "set `engine: EngineMode` directly")]
+    pub fn with_fast_forward(fast_forward: bool) -> RawConfig {
+        RawConfig {
+            engine: if fast_forward {
+                EngineMode::EventSkip
+            } else {
+                EngineMode::PerCycle
+            },
+            ..RawConfig::default()
+        }
+    }
 }
 
 impl Default for RawConfig {
@@ -86,46 +129,46 @@ impl Default for RawConfig {
             dyn_fifo_capacity: 4,
             cdni_capacity: 8,
             clock_mhz: 250,
-            fast_forward: true,
+            engine: EngineMode::EventSkip,
         }
     }
 }
 
-struct Tile {
-    program: Option<Box<dyn TileProgram>>,
-    switch_prog: [SwitchProgram; NUM_STATIC_NETS],
-    switch_state: [SwitchState; NUM_STATIC_NETS],
-    cache: DCache,
+pub(crate) struct Tile {
+    pub(crate) program: Option<Box<dyn TileProgram>>,
+    pub(crate) switch_prog: [SwitchProgram; NUM_STATIC_NETS],
+    pub(crate) switch_state: [SwitchState; NUM_STATIC_NETS],
+    pub(crate) cache: DCache,
     /// Local memory backing store, materialized lazily in chunks up to
     /// `RawConfig::local_mem_words` as addresses are touched (a 4 MB
     /// address space per tile would otherwise be zeroed eagerly on every
     /// machine construction).
-    mem: Vec<u32>,
-    stall_until: u64,
-    csti: [TsFifo; NUM_STATIC_NETS],
-    csto: TsFifo,
-    stats: TileStats,
+    pub(crate) mem: Vec<u32>,
+    pub(crate) stall_until: u64,
+    pub(crate) csti: [TsFifo; NUM_STATIC_NETS],
+    pub(crate) csto: TsFifo,
+    pub(crate) stats: TileStats,
     /// Cycles the switch spent with an instruction unable to complete.
-    switch_stall_cycles: u64,
+    pub(crate) switch_stall_cycles: u64,
 }
 
 /// The simulated Raw chip.
 pub struct RawMachine {
-    cfg: RawConfig,
-    cycle: u64,
-    tiles: Vec<Tile>,
+    pub(crate) cfg: RawConfig,
+    pub(crate) cycle: u64,
+    pub(crate) tiles: Vec<Tile>,
     /// Static-network link input FIFOs: `link_in[tile][net][dir]` holds
     /// words that arrived *at* `tile` from direction `dir` and await
     /// routing by `tile`'s switch.
-    link_in: Vec<[[TsFifo; 4]; NUM_STATIC_NETS]>,
-    dyn_nets: Vec<DynNet>,
-    devices: Vec<Box<dyn EdgeDevice>>,
+    pub(crate) link_in: Vec<[[TsFifo; 4]; NUM_STATIC_NETS]>,
+    pub(crate) dyn_nets: Vec<DynNet>,
+    pub(crate) devices: Vec<Box<dyn EdgeDevice>>,
     /// Direct-indexed device lookup: `device_table[(tile * nets + net) * 4
     /// + dir]` is the index into `devices`, or `NO_DEVICE`. Replaces a
     /// `BTreeMap<EdgePort, usize>` that sat on the per-route hot path.
     device_table: Vec<u16>,
     device_ports: Vec<EdgePort>,
-    trace: Option<TraceWindow>,
+    pub(crate) trace: Option<TraceWindow>,
     /// Attached telemetry sink. `None` (the default) costs one branch per
     /// cycle phase and nothing else — the event-skip fast path and the
     /// zero-allocation hot path are preserved.
@@ -134,28 +177,34 @@ pub struct RawMachine {
     /// every NullSink callback is a no-op, so the machine elides the
     /// per-cycle lock-and-publish entirely (observationally identical,
     /// and it keeps NullSink at the same cost as no sink at all).
-    telemetry_active: bool,
+    pub(crate) telemetry_active: bool,
     /// Per-tile token-wait hint from the most recent tick (see
     /// [`refine_state`]).
-    token_hint: Vec<bool>,
+    pub(crate) token_hint: Vec<bool>,
     /// Last switch stall cause per `(tile, net)`, maintained only while a
     /// telemetry sink is attached; fast-forward credits skipped stall
     /// cycles to it, mirroring `switch_stall_cycles` bulk crediting.
-    last_switch_cause: Vec<[SwitchStallCause; NUM_STATIC_NETS]>,
+    pub(crate) last_switch_cause: Vec<[SwitchStallCause; NUM_STATIC_NETS]>,
     /// The activity each tile recorded on the most recent cycle (the state
     /// a skipped quiet cycle would repeat).
-    last_activity: Vec<Activity>,
+    pub(crate) last_activity: Vec<Activity>,
     /// Scheduled per-tile stall windows `(start, end)`, sorted by start;
     /// `step_processors` folds the front window into `stall_until` once
     /// the cycle reaches it (fault injection: cache-miss storms).
-    stall_windows: Vec<Vec<(u64, u64)>>,
+    pub(crate) stall_windows: Vec<Vec<(u64, u64)>>,
     /// Cycle at which something last made forward progress.
-    last_progress: u64,
+    pub(crate) last_progress: u64,
     /// Words dropped at unbound edge output ports.
     pub edge_drops: u64,
     /// Total static-network route firings.
     pub routes_fired: u64,
-    dyn_moved_before: u64,
+    pub(crate) dyn_moved_before: u64,
+    /// Schedule-specialized execution plan (see [`crate::compiled`]).
+    /// Installed by a compiler pass; any structural mutation — new
+    /// program, new switch program, new device binding — invalidates it,
+    /// after which [`EngineMode::Compiled`] transparently degrades to the
+    /// event-skip interpreter until a fresh plan is installed.
+    pub(crate) plan: Option<Box<crate::compiled::CompiledPlan>>,
 }
 
 /// Sentinel for an unbound slot in `RawMachine::device_table`.
@@ -208,6 +257,7 @@ impl RawMachine {
             edge_drops: 0,
             routes_fired: 0,
             dyn_moved_before: 0,
+            plan: None,
         }
     }
 
@@ -223,8 +273,10 @@ impl RawMachine {
         self.cycle
     }
 
-    /// Install a tile-processor program.
+    /// Install a tile-processor program. Invalidates any installed
+    /// compiled plan (the plan caches which tiles are idle stubs).
     pub fn set_program(&mut self, tile: TileId, program: Box<dyn TileProgram>) {
+        self.plan = None;
         self.tiles[tile.index()].program = Some(program);
     }
 
@@ -248,6 +300,7 @@ impl RawMachine {
                 );
             }
         }
+        self.plan = None;
         let t = &mut self.tiles[tile.index()];
         t.switch_prog[net] = prog;
         t.switch_state[net] = SwitchState::new();
@@ -261,7 +314,7 @@ impl RawMachine {
 
     /// The device bound at `(tile, net, dir)`, if any.
     #[inline]
-    fn device_at(&self, tile: usize, net: usize, dir: usize) -> Option<usize> {
+    pub(crate) fn device_at(&self, tile: usize, net: usize, dir: usize) -> Option<usize> {
         match self.device_table[self.port_slot(tile, net, dir)] {
             NO_DEVICE => None,
             i => Some(i as usize),
@@ -269,8 +322,10 @@ impl RawMachine {
     }
 
     /// Bind a device to an edge port. Panics if the port is interior or
-    /// already bound.
+    /// already bound. Invalidates any installed compiled plan (the plan
+    /// caches device endpoints and the injector set).
     pub fn bind_device(&mut self, port: EdgePort, dev: Box<dyn EdgeDevice>) {
+        self.plan = None;
         assert!(
             self.cfg.dim.is_edge(port.tile, port.dir),
             "{:?} is not an edge port",
@@ -357,8 +412,27 @@ impl RawMachine {
 
     /// Read-only introspection: every edge port with a bound device — the
     /// set of off-grid links a schedule may legitimately route through.
+    /// A port's position in this slice is its device index (bind order),
+    /// stable for the lifetime of the machine.
     pub fn bound_device_ports(&self) -> &[EdgePort] {
         &self.device_ports
+    }
+
+    /// Read-only introspection: may the device at index `i` (position in
+    /// [`RawMachine::bound_device_ports`]) ever inject a word? Pure sinks
+    /// return false, letting a compiled plan skip their `pull_in` poll.
+    pub fn device_is_injector(&self, i: usize) -> bool {
+        self.devices[i].is_injector()
+    }
+
+    /// Read-only introspection: is the processor at `tile` the idle stub
+    /// (no installed program, or one whose tick is a guaranteed no-op)?
+    /// A compiled plan gives such tiles a zero-cost idle path.
+    pub fn program_is_idle(&self, tile: TileId) -> bool {
+        match &self.tiles[tile.index()].program {
+            Some(p) => p.is_idle_stub(),
+            None => true,
+        }
     }
 
     /// Diagnostic: occupancy of a static-network link input FIFO.
@@ -397,7 +471,7 @@ impl RawMachine {
     /// The sink to publish into, or `None` when publishing would be a
     /// no-op (detached, or a NullSink is attached).
     #[inline]
-    fn active_sink(&self) -> Option<&SharedSink> {
+    pub(crate) fn active_sink(&self) -> Option<&SharedSink> {
         if self.telemetry_active {
             self.telemetry.as_ref()
         } else {
@@ -446,9 +520,23 @@ impl RawMachine {
         self.cycle.saturating_sub(self.last_progress)
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle (through whichever engine is configured).
     pub fn step(&mut self) {
-        self.step_cycle();
+        self.step_cycle_engine();
+    }
+
+    /// One cycle through the configured engine: the compiled plan when
+    /// `EngineMode::Compiled` has one installed, the interpreter
+    /// otherwise. Bit-identical either way.
+    pub(crate) fn step_cycle_engine(&mut self) -> bool {
+        if self.cfg.engine == EngineMode::Compiled {
+            if let Some(plan) = self.plan.take() {
+                let quiet = self.step_cycle_compiled(&plan);
+                self.plan = Some(plan);
+                return quiet;
+            }
+        }
+        self.step_cycle()
     }
 
     /// Advance one cycle. Returns true when the cycle was *quiet*: nothing
@@ -499,7 +587,7 @@ impl RawMachine {
         !progress && !sw_ctrl
     }
 
-    fn step_processors(&mut self, cycle: u64) -> bool {
+    pub(crate) fn step_processors(&mut self, cycle: u64) -> bool {
         let mut progress = false;
         let n = self.tiles.len();
         let cols = self.cfg.dim.cols as u32;
@@ -585,7 +673,7 @@ impl RawMachine {
     }
 
     /// Returns `(progress, control_transition)` for one switch.
-    fn step_switch(&mut self, t: usize, net: usize, cycle: u64) -> (bool, bool) {
+    pub(crate) fn step_switch(&mut self, t: usize, net: usize, cycle: u64) -> (bool, bool) {
         self.tiles[t].switch_state[net].apply_pending_pc(cycle);
         if self.tiles[t].switch_state[net].halted {
             return (false, false);
@@ -820,7 +908,7 @@ impl RawMachine {
     /// some transition firing first. The minimum over every such time
     /// threshold is therefore a sound skip target: every cycle strictly
     /// before it would replay the quiet cycle exactly.
-    fn next_event_cycle(&self) -> Option<u64> {
+    pub(crate) fn next_event_cycle(&self) -> Option<u64> {
         let now = self.cycle;
         let mut best = u64::MAX;
         // Returns true when the event is this very cycle: `now` cannot be
@@ -926,7 +1014,7 @@ impl RawMachine {
     /// stall cycles — exactly what per-cycle stepping would have recorded,
     /// since a skipped cycle by construction repeats the previous one.
     /// `last_progress` is untouched: skipped cycles made no progress.
-    fn fast_forward_to(&mut self, target: u64) {
+    pub(crate) fn fast_forward_to(&mut self, target: u64) {
         let span = target.saturating_sub(self.cycle);
         if span == 0 {
             return;
@@ -966,14 +1054,15 @@ impl RawMachine {
         self.cycle = target;
     }
 
-    /// Run exactly `n` cycles. With `RawConfig::fast_forward` set (the
-    /// default), quiet stretches are skipped in bulk; the observable end
-    /// state is identical to stepping each cycle.
+    /// Run exactly `n` cycles through the configured engine. With an
+    /// engine that skips (the default), quiet stretches are jumped in
+    /// bulk; the observable end state is identical to stepping each
+    /// cycle.
     pub fn run(&mut self, n: u64) {
         let deadline = self.cycle + n;
         while self.cycle < deadline {
-            let quiet = self.step_cycle();
-            if quiet && self.cfg.fast_forward {
+            let quiet = self.step_cycle_engine();
+            if quiet && self.cfg.engine.skips() {
                 let target = self.next_event_cycle().unwrap_or(deadline).min(deadline);
                 self.fast_forward_to(target);
             }
@@ -1004,8 +1093,8 @@ impl RawMachine {
     pub fn run_until_quiescent(&mut self, window: u64, max_cycles: u64) -> QuiescenceReport {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline && self.idle_cycles() < window {
-            let quiet = self.step_cycle();
-            if quiet && self.cfg.fast_forward {
+            let quiet = self.step_cycle_engine();
+            if quiet && self.cfg.engine.skips() {
                 // Stop exactly where per-cycle stepping would declare
                 // quiescence, so the reported cycle matches.
                 let cap = (self.last_progress + window).min(deadline);

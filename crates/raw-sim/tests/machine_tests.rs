@@ -724,9 +724,9 @@ fn larger_grids_stream_at_line_rate() {
 /// and both engine modes agree bit-for-bit on the outcome.
 #[test]
 fn scheduled_stall_windows_delay_without_divergence() {
-    let run = |fast_forward: bool| -> (Vec<u64>, [u64; 5], u64) {
+    let run = |engine: EngineMode| -> (Vec<u64>, [u64; 5], u64) {
         let mut m = RawMachine::new(RawConfig {
-            fast_forward,
+            engine,
             ..RawConfig::default()
         });
         let sent_at = Arc::new(Mutex::new(Vec::new()));
@@ -752,14 +752,18 @@ fn scheduled_stall_windows_delay_without_divergence() {
         m.schedule_stall(TileId(0), 3, 40);
         m.schedule_stall(TileId(0), 20, 10); // overlapping: merges
         assert_eq!(m.pending_stall_windows(TileId(0)), 2);
+        if engine == EngineMode::Compiled {
+            m.compile_reference_plan();
+        }
         m.run(200);
         assert_eq!(m.pending_stall_windows(TileId(0)), 0);
         let sends = sent_at.lock().unwrap().clone();
         (sends, m.stats(TileId(0)).counts, m.cycle())
     };
-    let (sends, counts, cycle) = run(false);
+    let (sends, counts, cycle) = run(EngineMode::PerCycle);
     // Sends resume only after the window [3, 43) expires.
     assert!(sends.iter().skip(3).all(|&c| c >= 43), "sends {sends:?}");
     assert_eq!(counts[Activity::CacheStall.index()], 40);
-    assert_eq!(run(true), (sends, counts, cycle));
+    assert_eq!(run(EngineMode::EventSkip), (sends.clone(), counts, cycle));
+    assert_eq!(run(EngineMode::Compiled), (sends, counts, cycle));
 }

@@ -84,9 +84,9 @@ fn stall_states_are_refined() {
     });
 }
 
-fn switch_stall_machine(fast_forward: bool) -> (RawMachine, raw_telemetry::SharedSink) {
+fn switch_stall_machine(engine: EngineMode) -> (RawMachine, raw_telemetry::SharedSink) {
     let cfg = RawConfig {
-        fast_forward,
+        engine,
         ..RawConfig::default()
     };
     let mut m = RawMachine::new(cfg);
@@ -110,7 +110,7 @@ fn switch_stall_machine(fast_forward: bool) -> (RawMachine, raw_telemetry::Share
 
 #[test]
 fn switch_stalls_attributed_to_fifo_empty() {
-    let (mut m, sink) = switch_stall_machine(false);
+    let (mut m, sink) = switch_stall_machine(EngineMode::PerCycle);
     m.run(300);
     let stalls = m.switch_stall_cycles(TileId(0));
     with_sink::<Recorder, _>(&sink, |r| {
@@ -122,9 +122,12 @@ fn switch_stalls_attributed_to_fifo_empty() {
 }
 
 #[test]
-fn fast_forward_credits_telemetry_identically() {
-    let collect = |ff: bool| -> (Vec<[u64; TileState::COUNT]>, Vec<[u64; 3]>, u64) {
-        let (mut m, sink) = switch_stall_machine(ff);
+fn every_engine_credits_telemetry_identically() {
+    let collect = |engine: EngineMode| -> (Vec<[u64; TileState::COUNT]>, Vec<[u64; 3]>, u64) {
+        let (mut m, sink) = switch_stall_machine(engine);
+        if engine == EngineMode::Compiled {
+            m.compile_reference_plan();
+        }
         m.run(400);
         let cycle = m.cycle();
         with_sink::<Recorder, _>(&sink, |r| {
@@ -135,13 +138,15 @@ fn fast_forward_credits_telemetry_identically() {
             )
         })
     };
-    assert_eq!(collect(true), collect(false));
+    let reference = collect(EngineMode::PerCycle);
+    assert_eq!(collect(EngineMode::EventSkip), reference);
+    assert_eq!(collect(EngineMode::Compiled), reference);
 }
 
 #[test]
 fn attaching_a_sink_never_changes_results() {
     let run = |with_telemetry: bool| -> (u64, Vec<[u64; 5]>) {
-        let (mut m, sink) = switch_stall_machine(true);
+        let (mut m, sink) = switch_stall_machine(EngineMode::EventSkip);
         if !with_telemetry {
             m.take_telemetry();
             drop(sink);

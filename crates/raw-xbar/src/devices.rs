@@ -227,6 +227,10 @@ impl LineCardOut {
 }
 
 impl EdgeDevice for LineCardOut {
+    fn is_injector(&self) -> bool {
+        false // pure sink: never offers words into the chip
+    }
+
     fn can_push(&self, cycle: u64) -> bool {
         !self.stalled(cycle)
     }

@@ -17,6 +17,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 20,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -26,7 +27,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_bench(&id, 20, f);
+        run_bench(&id, 20, None, f);
         self
     }
 }
@@ -34,6 +35,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -44,19 +46,39 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Upstream-compatible: declare the work performed per iteration so
+    /// the report includes a rate (elements/s or bytes/s) next to the
+    /// wall time. Applies to subsequent `bench_function` calls.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into());
-        run_bench(&full, self.sample_size, f);
+        run_bench(&full, self.sample_size, self.throughput, f);
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+/// Per-iteration work, for rate reporting (upstream-compatible subset).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         iters: sample_size as u64,
@@ -66,8 +88,18 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
     let total: Duration = b.samples.iter().sum();
     let mean = total / n;
     let min = b.samples.iter().min().copied().unwrap_or_default();
+    let rate = throughput
+        .map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "Melem/s"),
+                Throughput::Bytes(n) => (n, "MB/s"),
+            };
+            let per_sec = count as f64 / mean.as_secs_f64().max(1e-12) / 1e6;
+            format!(", {per_sec:.2} {unit}")
+        })
+        .unwrap_or_default();
     println!(
-        "bench {id}: mean {mean:?}, min {min:?} per iter ({} iters)",
+        "bench {id}: mean {mean:?}, min {min:?} per iter ({} iters{rate})",
         b.samples.len()
     );
 }
