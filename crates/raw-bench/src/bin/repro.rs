@@ -710,8 +710,28 @@ fn run_fabric() {
 }
 
 fn run_verify() {
-    println!("== static verification: conflict / lockstep / deadlock / jump-table ==");
-    let report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
+    println!("== static verification: conflict / lockstep / deadlock / jump-table / fabric ==");
+    let mut report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
+
+    // Whole-fabric analyses (RV5xx–RV7xx) over every shipped topology,
+    // merged into the same report so results/verify.json carries one
+    // unified verdict.
+    let verdicts = raw_bench::fabric_verify_verdicts();
+    for v in &verdicts {
+        report.programs_checked.push(format!("fabric-{}", v.name));
+        report.coverage.fabric_topologies += 1;
+        report.coverage.fabric_cdg_nodes += v.cdg_nodes;
+        report.coverage.fabric_cdg_edges += v.cdg_edges;
+        report.coverage.fabric_route_walks += v.route_walks;
+        report.coverage.fabric_coverage_points += v.coverage_points;
+        report.coverage.fabric_links += v.links_checked;
+        report.diagnostics.extend(v.diags.iter().cloned());
+    }
+    report
+        .analyses
+        .extend(raw_verify::fabric::fabric_reports(&verdicts));
+    report.pass = report.diagnostics.is_empty();
+
     let rows: Vec<Vec<String>> = report
         .analyses
         .iter()
@@ -744,6 +764,16 @@ fn run_verify() {
         cov.lockstep_scenarios,
         cov.max_fifo_high_water,
         cov.policies
+    );
+    println!(
+        "fabric coverage: {} topologies, {} CDG nodes / {} edges, {} routing walks, \
+         {} address-coverage points, {} links credit-checked",
+        cov.fabric_topologies,
+        cov.fabric_cdg_nodes,
+        cov.fabric_cdg_edges,
+        cov.fabric_route_walks,
+        cov.fabric_coverage_points,
+        cov.fabric_links
     );
     for d in &report.diagnostics {
         println!("  {d}");

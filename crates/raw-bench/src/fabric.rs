@@ -192,9 +192,37 @@ pub fn fabric_study(packets_per_port: usize) -> FabricReport {
     }
 }
 
+/// The topologies the repo ships (and the fabric experiments sweep).
+pub const SHIPPED_TOPOLOGIES: [Topology; 3] =
+    [Topology::Single4, Topology::Folded8, Topology::Clos16];
+
+/// Run the whole-fabric static analyses (`RV5xx` deadlock, `RV6xx`
+/// routing, `RV7xx` credit sizing) over every shipped topology under
+/// the default fabric configuration — the verdicts `repro -- verify`
+/// folds into `results/verify.json`. Every verdict must be empty: these
+/// are exactly the fabrics `RawFabric::try_new` will build.
+pub fn fabric_verify_verdicts() -> Vec<raw_verify::fabric::FabricVerdict> {
+    SHIPPED_TOPOLOGIES
+        .into_iter()
+        .map(|t| {
+            raw_fabric::verify_fabric(&FabricConfig {
+                topology: t,
+                ..FabricConfig::default()
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shipped_topologies_verify_with_zero_diagnostics() {
+        for v in fabric_verify_verdicts() {
+            assert!(v.diags.is_empty(), "{}: {:?}", v.name, v.diags);
+        }
+    }
 
     /// A miniature sweep cell end-to-end: both executors agree and the
     /// books close (the full sweep is exercised by `repro -- fabric`).

@@ -73,7 +73,7 @@ impl ChaosFabric {
                 penalty_cycles: plan.packet.lookup_penalty_cycles,
             });
         }
-        let mut fabric = RawFabric::try_new(cfg)?;
+        let mut fabric = RawFabric::try_new(cfg).map_err(|e| e.to_string())?;
         for s in &plan.link_stalls {
             fabric.stall_link(s.link, s.start_epoch, s.epochs);
         }

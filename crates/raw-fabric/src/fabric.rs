@@ -59,6 +59,100 @@ impl SprayMode {
     }
 }
 
+/// Why a [`FabricConfig`] is rejected before any fabric is built. Each
+/// class maps onto the `RV7xx` diagnostic the `raw-verify` fabric
+/// analysis reports for the same defect ([`FabricConfigError::code`]),
+/// so the dynamic gate and the static proof speak one vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricConfigError {
+    /// `epoch_cycles == 0`: the credit protocol samples once per epoch.
+    ZeroEpoch,
+    /// Store-and-forward egress has no per-epoch emission bound to size
+    /// link credits against.
+    StoreAndForwardEgress,
+    /// A link that drains zero packets per epoch never empties.
+    ZeroLinkRate,
+    /// Link capacity cannot hold the stall threshold plus one slot of
+    /// progress room.
+    CapacityBelowBurst { capacity: usize, bound: usize },
+}
+
+impl FabricConfigError {
+    /// The `RV7xx` code the static verifier assigns this failure class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FabricConfigError::ZeroEpoch => "RV705",
+            FabricConfigError::StoreAndForwardEgress => "RV704",
+            FabricConfigError::ZeroLinkRate => "RV702",
+            FabricConfigError::CapacityBelowBurst { .. } => "RV701",
+        }
+    }
+}
+
+impl std::fmt::Display for FabricConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricConfigError::ZeroEpoch => write!(f, "epoch_cycles must be positive"),
+            FabricConfigError::StoreAndForwardEgress => write!(
+                f,
+                "the fabric composes cut-through routers: store-and-forward egress has no \
+                 per-epoch emission bound to size link credits against"
+            ),
+            FabricConfigError::ZeroLinkRate => {
+                write!(f, "link rate must be at least 1 packet/epoch")
+            }
+            FabricConfigError::CapacityBelowBurst { capacity, bound } => write!(
+                f,
+                "link capacity {capacity} cannot hold the stall threshold plus one epoch \
+                 burst ({bound} packets)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricConfigError {}
+
+/// Why [`RawFabric::try_new`] refused to build a fabric.
+#[derive(Clone, Debug)]
+pub enum FabricError {
+    /// The scalar config check ([`FabricConfig::validate`]) failed.
+    Config(FabricConfigError),
+    /// The whole-fabric static verifier found `RV5xx`–`RV7xx`
+    /// violations: the topology + config combination could deadlock,
+    /// misroute, or overflow a link even though each scalar is sane.
+    Verify(Vec<raw_verify::Diag>),
+    /// A member router rejected the per-router configuration.
+    Router(String),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Config(e) => write!(f, "{} ({})", e, e.code()),
+            FabricError::Verify(diags) => {
+                write!(
+                    f,
+                    "fabric verification failed with {} finding(s):",
+                    diags.len()
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            FabricError::Router(e) => write!(f, "router configuration rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<FabricConfigError> for FabricError {
+    fn from(e: FabricConfigError) -> FabricError {
+        FabricError::Config(e)
+    }
+}
+
 /// Fabric-wide configuration. `link_capacity` / `link_rate` of 0 mean
 /// "derive from the epoch size" (wire-speed drain, 3 epochs of buffer).
 #[derive(Clone, Debug)]
@@ -68,6 +162,13 @@ pub struct FabricConfig {
     pub spray: SprayMode,
     pub link_capacity: usize,
     pub link_rate: usize,
+    /// Guaranteed link-drain slots per epoch even when the receiver's
+    /// backlog exceeds its input window. The default of 1 is the escape
+    /// valve that turns a spray-skew freeze on the folded topology's
+    /// leaf<->spine cycle into a trickle (see [`RawFabric`]'s boundary
+    /// step 2); 0 reconstructs the historical pre-fix behavior, which
+    /// the static verifier rejects on cyclic topologies (`RV503`).
+    pub min_receive_window: usize,
     /// Configuration applied to every member router.
     pub router: RouterConfig,
 }
@@ -80,6 +181,7 @@ impl Default for FabricConfig {
             spray: SprayMode::Hash,
             link_capacity: 0,
             link_rate: 0,
+            min_receive_window: 1,
             // VOQ ingress is load-bearing, not a preference: the folded
             // topology's leaf<->spine links form a cyclic channel
             // dependency, and FIFO head-of-line blocking couples that
@@ -103,12 +205,16 @@ impl Default for FabricConfig {
 impl FabricConfig {
     /// Worst-case packets one egress port can complete in one epoch
     /// (quantum + tag word per packet, plus margin for a packet that
-    /// straddles the boundary).
-    fn emission_bound(&self) -> usize {
+    /// straddles the boundary). This is the stall threshold the credit
+    /// check compares link credits against, and the declared emission
+    /// bound the static verifier's symbolic occupancy proof re-derives.
+    pub fn emission_bound(&self) -> usize {
         (self.epoch_cycles as usize / (self.router.quantum_words + 1)) + 2
     }
 
-    fn resolved_rate(&self) -> usize {
+    /// Per-epoch link drain rate after applying the derive-from-epoch
+    /// default.
+    pub fn resolved_rate(&self) -> usize {
         if self.link_rate > 0 {
             self.link_rate
         } else {
@@ -116,7 +222,8 @@ impl FabricConfig {
         }
     }
 
-    fn resolved_capacity(&self) -> usize {
+    /// Link queue capacity after applying the derive-from-epoch default.
+    pub fn resolved_capacity(&self) -> usize {
         if self.link_capacity > 0 {
             self.link_capacity
         } else {
@@ -124,16 +231,12 @@ impl FabricConfig {
         }
     }
 
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), FabricConfigError> {
         if self.epoch_cycles == 0 {
-            return Err("epoch_cycles must be positive".into());
+            return Err(FabricConfigError::ZeroEpoch);
         }
         if !self.router.cut_through {
-            return Err(
-                "the fabric composes cut-through routers: store-and-forward egress has no \
-                 per-epoch emission bound to size link credits against"
-                    .into(),
-            );
+            return Err(FabricConfigError::StoreAndForwardEgress);
         }
         let (rate, cap, bound) = (
             self.resolved_rate(),
@@ -141,7 +244,7 @@ impl FabricConfig {
             self.emission_bound(),
         );
         if rate < 1 {
-            return Err("link rate must be at least 1 packet/epoch".into());
+            return Err(FabricConfigError::ZeroLinkRate);
         }
         // The no-overflow invariant: if credits >= bound the sender may
         // emit freely (at most `bound` arrivals next boundary); if
@@ -149,10 +252,10 @@ impl FabricConfig {
         // epoch and nothing arrives. Capacity must leave room for one
         // full burst above the stall threshold.
         if cap < bound + 1 {
-            return Err(format!(
-                "link capacity {cap} cannot hold the stall threshold plus one \
-                 epoch burst ({bound} packets)"
-            ));
+            return Err(FabricConfigError::CapacityBelowBurst {
+                capacity: cap,
+                bound,
+            });
         }
         Ok(())
     }
@@ -235,9 +338,16 @@ fn fnv_flow(src: u32, dst_ext: u8) -> u64 {
 }
 
 impl RawFabric {
-    pub fn try_new(cfg: FabricConfig) -> Result<RawFabric, String> {
+    pub fn try_new(cfg: FabricConfig) -> Result<RawFabric, FabricError> {
         cfg.validate()?;
         let plan = topology::plan(cfg.topology);
+        // The whole-fabric static gate: deadlock freedom, routing
+        // soundness, and the symbolic credit-sizing proof must all hold
+        // before a single router is instantiated.
+        let verdict = crate::verify::verify_spec(&plan, &cfg);
+        if !verdict.diags.is_empty() {
+            return Err(FabricError::Verify(verdict.diags));
+        }
         let mut routers = Vec::with_capacity(plan.routers.len());
         for spec in &plan.routers {
             // Compact 16-bit DIR split: a dozen canonical 2^24-slot
@@ -247,11 +357,10 @@ impl RawFabric {
                 &spec.routes,
                 16,
             ));
-            routers.push(Mutex::new(RawRouter::try_new_with_telemetry(
-                cfg.router.clone(),
-                table,
-                None,
-            )?));
+            routers.push(Mutex::new(
+                RawRouter::try_new_with_telemetry(cfg.router.clone(), table, None)
+                    .map_err(FabricError::Router)?,
+            ));
         }
         let (rate, capacity) = (cfg.resolved_rate(), cfg.resolved_capacity());
         let links: Vec<FabricLink> = plan
@@ -419,20 +528,25 @@ impl RawFabric {
         //    keeps a backlog, the link refuses to hand over more, the
         //    queue fills, and step 5 turns that into sender stalls —
         //    hop-by-hop backpressure with nothing hidden in unbounded
-        //    buffers. The window never closes completely (min one
-        //    packet per epoch): the folded topology's leaf<->spine
-        //    cycle can otherwise deadlock when a skewed spray fills one
-        //    VOQ, VOQ admission blocks the ingress line card, and every
-        //    drain window along the cycle pins at zero — the escape
-        //    slot turns that permanent freeze into a trickle that
-        //    drains once the skew passes. Only injected link faults
-        //    (stall windows) may freeze a drain outright.
+        //    buffers. The window never closes completely
+        //    (`min_receive_window`, default one packet per epoch): the
+        //    folded topology's leaf<->spine cycle can otherwise
+        //    deadlock when a skewed spray fills one VOQ, VOQ admission
+        //    blocks the ingress line card, and every drain window along
+        //    the cycle pins at zero — the escape slot turns that
+        //    permanent freeze into a trickle that drains once the skew
+        //    passes. Setting it to 0 reconstructs that historical
+        //    deadlock, which `try_new`'s static gate rejects (RV503) on
+        //    cyclic topologies. Only injected link faults (stall
+        //    windows) may freeze a drain outright.
         let window = 2 * self.cfg.emission_bound();
         for li in 0..self.links.len() {
             let stage = self.plan.routers[self.links[li].spec.from.0].stage;
             let (to_r, to_p) = (self.links[li].spec.to.0, self.links[li].spec.to.1);
             let backlog = routers[to_r].lock().unwrap().input_backlog(to_p);
-            let allowed = window.saturating_sub(backlog).max(1);
+            let allowed = window
+                .saturating_sub(backlog)
+                .max(self.cfg.min_receive_window);
             for p in self.links[li].drain(epoch, allowed) {
                 if let Some(life) = self.life.get_mut(&(p.header.src, p.header.id)) {
                     self.stage_hist[stage.min(2)].record(t - life.stage_entry);

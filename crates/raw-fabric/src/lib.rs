@@ -30,9 +30,13 @@
 pub mod fabric;
 pub mod link;
 pub mod topology;
+pub mod verify;
 
-pub use fabric::{FabricConfig, FabricSummary, RawFabric, SprayMode};
+pub use fabric::{
+    FabricConfig, FabricConfigError, FabricError, FabricSummary, RawFabric, SprayMode,
+};
 pub use link::FabricLink;
 pub use topology::{
     dst_ext_port, fabric_addr, plan, stamp_middle, LinkSpec, RouterSpec, Topology, TopologyPlan,
 };
+pub use verify::{verify_fabric, verify_spec, verify_topology};

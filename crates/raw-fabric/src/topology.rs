@@ -104,6 +104,11 @@ pub struct TopologyPlan {
     /// For stage-0 router `r`, `uplinks[r][m]` is the link index that
     /// carries spray choice `m` (empty for other stages).
     pub uplinks: Vec<Vec<usize>>,
+    /// `(router, input port) → link` index, built once at plan time so
+    /// the per-boundary lookups are O(1) instead of scans over `links`.
+    into_map: Vec<[Option<usize>; NPORTS]>,
+    /// `(router, output port) → link` index.
+    out_map: Vec<[Option<usize>; NPORTS]>,
 }
 
 /// Destination address for external port `d` via middle stage `m`.
@@ -243,19 +248,45 @@ pub fn plan(t: Topology) -> TopologyPlan {
             ext_out = (0..8).map(|d| (d / 2, d % 2)).collect();
         }
     }
-    let p = TopologyPlan {
-        topology: t,
-        routers,
-        links,
-        ext_in,
-        ext_out,
-        uplinks,
-    };
-    p.validate();
-    p
+    TopologyPlan::new(t, routers, links, ext_in, ext_out, uplinks)
 }
 
 impl TopologyPlan {
+    /// Assemble a plan: index the wiring into the `(router, port) → link`
+    /// maps and run the structural sanity checks.
+    pub fn new(
+        topology: Topology,
+        routers: Vec<RouterSpec>,
+        links: Vec<LinkSpec>,
+        ext_in: Vec<(usize, usize)>,
+        ext_out: Vec<(usize, usize)>,
+        uplinks: Vec<Vec<usize>>,
+    ) -> TopologyPlan {
+        let mut into_map = vec![[None; NPORTS]; routers.len()];
+        let mut out_map = vec![[None; NPORTS]; routers.len()];
+        for (li, l) in links.iter().enumerate() {
+            // validate() re-checks bounds and uniqueness with real
+            // messages; indexing here would just panic earlier.
+            if l.to.0 < routers.len() && l.to.1 < NPORTS {
+                into_map[l.to.0][l.to.1] = Some(li);
+            }
+            if l.from.0 < routers.len() && l.from.1 < NPORTS {
+                out_map[l.from.0][l.from.1] = Some(li);
+            }
+        }
+        let p = TopologyPlan {
+            topology,
+            routers,
+            links,
+            ext_in,
+            ext_out,
+            uplinks,
+            into_map,
+            out_map,
+        };
+        p.validate();
+        p
+    }
     /// Structural sanity: every router port is used at most once on
     /// each side, external attachments never collide with links, and
     /// stage-0 routers expose exactly `spray_width` uplinks.
@@ -318,11 +349,23 @@ impl TopologyPlan {
 
     /// The link arriving at router input `(r, port)`, if any.
     pub fn link_into(&self, r: usize, port: usize) -> Option<usize> {
-        self.links.iter().position(|l| l.to == (r, port))
+        *self.into_map.get(r).and_then(|m| m.get(port))?
     }
 
     /// The link leaving router output `(r, port)`, if any.
     pub fn link_out_of(&self, r: usize, port: usize) -> Option<usize> {
+        *self.out_map.get(r).and_then(|m| m.get(port))?
+    }
+
+    /// The scan `link_into` replaced — kept as the oracle the index
+    /// maps are tested against.
+    #[cfg(test)]
+    fn link_into_scan(&self, r: usize, port: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.to == (r, port))
+    }
+
+    #[cfg(test)]
+    fn link_out_of_scan(&self, r: usize, port: usize) -> Option<usize> {
         self.links.iter().position(|l| l.from == (r, port))
     }
 }
@@ -422,6 +465,30 @@ mod tests {
         for d in 0..16u8 {
             let (ext, _) = model_route(&p, &tables, 5, d, 0);
             assert_eq!(ext, d as usize);
+        }
+    }
+
+    #[test]
+    fn link_index_maps_agree_with_the_scan_on_every_shipped_topology() {
+        for t in [Topology::Single4, Topology::Folded8, Topology::Clos16] {
+            let p = plan(t);
+            // One past NPORTS probes the out-of-range path too.
+            for r in 0..p.routers.len() {
+                for port in 0..=NPORTS {
+                    assert_eq!(
+                        p.link_into(r, port),
+                        p.link_into_scan(r, port),
+                        "{t:?} link_into({r}, {port})"
+                    );
+                    assert_eq!(
+                        p.link_out_of(r, port),
+                        p.link_out_of_scan(r, port),
+                        "{t:?} link_out_of({r}, {port})"
+                    );
+                }
+            }
+            assert_eq!(p.link_into(p.routers.len(), 0), None);
+            assert_eq!(p.link_out_of(p.routers.len(), 0), None);
         }
     }
 

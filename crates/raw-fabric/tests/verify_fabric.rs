@@ -1,0 +1,354 @@
+//! The whole-fabric static verifier against the real topologies: every
+//! shipped configuration proves clean, and every seeded mutant — most
+//! importantly the two *historical* deadlock configurations this repo
+//! actually hit and fixed — is rejected statically with its specific
+//! diagnostic, before a single router would be built.
+
+use proptest::prelude::*;
+
+use raw_chaos::{ChaosFabric, FabricFaultPlan, FaultPlan, LinkStallSpec};
+use raw_fabric::{
+    plan, verify_fabric, verify_spec, FabricConfig, FabricConfigError, FabricError, RawFabric,
+    SprayMode, Topology,
+};
+use raw_workloads::{generate_n, Arrivals, Pattern, Workload};
+use raw_xbar::IngressQueueing;
+
+const SHIPPED: [Topology; 3] = [Topology::Single4, Topology::Folded8, Topology::Clos16];
+
+fn cfg_for(t: Topology) -> FabricConfig {
+    FabricConfig {
+        topology: t,
+        ..FabricConfig::default()
+    }
+}
+
+fn codes(cfg: &FabricConfig) -> Vec<&'static str> {
+    verify_fabric(cfg).diags.iter().map(|d| d.code).collect()
+}
+
+// ---------------------------------------------------------------------
+// Positive: everything the repo ships proves clean.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_shipped_topology_and_spray_verifies_clean() {
+    for t in SHIPPED {
+        for spray in [SprayMode::Hash, SprayMode::LeastOccupancy] {
+            for epoch in [128u64, 256, 512] {
+                let cfg = FabricConfig {
+                    spray,
+                    epoch_cycles: epoch,
+                    ..cfg_for(t)
+                };
+                let v = verify_fabric(&cfg);
+                assert!(
+                    v.diags.is_empty(),
+                    "{t:?}/{spray:?}/epoch {epoch}: {:?}",
+                    v.diags
+                );
+                // The analyses actually covered something.
+                assert!(v.route_walks > 0);
+                assert!(v.coverage_points > 0);
+                if t != Topology::Single4 {
+                    assert!(v.cdg_nodes > 0 && v.links_checked > 0);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Historical deadlock 1: the pre-VOQ default. FIFO ingress head-of-line
+// coupling closes the folded topology's leaf<->spine channel-dependency
+// cycle — found dynamically back then, caught statically now.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pre_voq_fifo_ingress_on_folded8_is_rejected_as_rv502() {
+    let mut cfg = cfg_for(Topology::Folded8);
+    cfg.router.queueing = IngressQueueing::Fifo;
+    let got = codes(&cfg);
+    assert!(got.contains(&"RV502"), "{got:?}");
+    assert!(
+        !got.contains(&"RV501"),
+        "cycle must be escape-fixable: {got:?}"
+    );
+
+    // try_new refuses to build it, with the verifier's diagnostics.
+    match RawFabric::try_new(cfg) {
+        Err(FabricError::Verify(diags)) => {
+            assert!(diags.iter().any(|d| d.code == "RV502"), "{diags:?}")
+        }
+        Err(other) => panic!("expected Verify rejection, got {other}"),
+        Ok(_) => panic!("expected Verify rejection, fabric was built"),
+    }
+}
+
+/// Sharpness: the 3-stage Clos is feed-forward — FIFO ingress gives up
+/// HOL throughput but cannot deadlock it, and the verifier must know
+/// the difference rather than blanket-ban FIFO.
+#[test]
+fn fifo_ingress_on_feed_forward_clos16_stays_clean() {
+    let mut cfg = cfg_for(Topology::Clos16);
+    cfg.router.queueing = IngressQueueing::Fifo;
+    assert_eq!(codes(&cfg), Vec::<&str>::new());
+    assert!(RawFabric::try_new(cfg).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Historical deadlock 2: the pre-min-1 receive window. A zero floor
+// lets spray skew pin every drain window along the leaf<->spine cycle
+// at zero permanently.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_receive_window_floor_on_folded8_is_rejected_as_rv503() {
+    let mut cfg = cfg_for(Topology::Folded8);
+    cfg.min_receive_window = 0;
+    let got = codes(&cfg);
+    assert!(got.contains(&"RV503"), "{got:?}");
+    assert!(!got.contains(&"RV501"), "{got:?}");
+    assert!(matches!(
+        RawFabric::try_new(cfg),
+        Err(FabricError::Verify(_))
+    ));
+}
+
+#[test]
+fn zero_receive_window_floor_on_feed_forward_clos16_stays_clean() {
+    let mut cfg = cfg_for(Topology::Clos16);
+    cfg.min_receive_window = 0;
+    assert_eq!(codes(&cfg), Vec::<&str>::new());
+}
+
+/// Both fixes removed at once on the cyclic topology: still caught (the
+/// FIFO coupling alone closes the cycle).
+#[test]
+fn both_escape_fixes_removed_is_still_caught_statically() {
+    let mut cfg = cfg_for(Topology::Folded8);
+    cfg.router.queueing = IngressQueueing::Fifo;
+    cfg.min_receive_window = 0;
+    let got = codes(&cfg);
+    assert!(got.contains(&"RV502") || got.contains(&"RV503"), "{got:?}");
+}
+
+// ---------------------------------------------------------------------
+// Routing mutants (RV6xx): truncated tables, misroutes, dangling
+// ports, spray disagreements.
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncating_a_middle_router_table_is_a_coverage_hole() {
+    let mut p = plan(Topology::Clos16);
+    // Middle router 4 loses its d=15 rule *and* the default route — the
+    // /16 space is no longer covered.
+    p.routers[4]
+        .routes
+        .retain(|r| r.len == 16 && (r.prefix >> 16) & 0xff != 15);
+    let v = verify_spec(&p, &cfg_for(Topology::Clos16));
+    assert!(v.diags.iter().any(|d| d.code == "RV601"), "{:?}", v.diags);
+}
+
+#[test]
+fn a_misrouting_middle_stage_is_a_misdelivery() {
+    let mut p = plan(Topology::Clos16);
+    // Middle router 4 sends d=0 to egress port 3 (egress router 11)
+    // instead of port 0: delivered, but at the wrong external output.
+    for r in &mut p.routers[4].routes {
+        if r.len == 16 && (r.prefix >> 16) & 0xff == 0 {
+            r.next_hop = 3;
+        }
+    }
+    let v = verify_spec(&p, &cfg_for(Topology::Clos16));
+    assert!(v.diags.iter().any(|d| d.code == "RV603"), "{:?}", v.diags);
+}
+
+#[test]
+fn a_route_out_an_unwired_port_is_a_dangling_egress() {
+    let mut p = plan(Topology::Clos16);
+    for r in &mut p.routers[4].routes {
+        if r.len == 16 && (r.prefix >> 16) & 0xff == 7 {
+            r.next_hop = 7; // no such port on a 4-port router
+        }
+    }
+    let v = verify_spec(&p, &cfg_for(Topology::Clos16));
+    assert!(v.diags.iter().any(|d| d.code == "RV604"), "{:?}", v.diags);
+}
+
+#[test]
+fn a_spine_bouncing_traffic_back_down_is_a_routing_loop() {
+    let mut p = plan(Topology::Folded8);
+    // Spine 4 sends d=0 to leaf 1 instead of leaf 0; leaf 1 sprays it
+    // back up — the walk revisits the spine.
+    for r in &mut p.routers[4].routes {
+        if r.len == 16 && (r.prefix >> 16) & 0xff == 0 {
+            r.next_hop = 1;
+        }
+    }
+    let v = verify_spec(&p, &cfg_for(Topology::Folded8));
+    assert!(v.diags.iter().any(|d| d.code == "RV602"), "{:?}", v.diags);
+}
+
+#[test]
+fn swapped_ingress_uplinks_break_spray_agreement() {
+    let mut p = plan(Topology::Clos16);
+    // The table still routes (d, m) out port m, but the declared uplink
+    // map now claims spray 0 rides what is physically uplink 1.
+    p.uplinks[0].swap(0, 1);
+    let v = verify_spec(&p, &cfg_for(Topology::Clos16));
+    assert!(v.diags.iter().any(|d| d.code == "RV605"), "{:?}", v.diags);
+}
+
+// ---------------------------------------------------------------------
+// Credit mutants (RV7xx), and the typed-config-error agreement: the
+// dynamic gate (`FabricConfig::validate`) and the static proof assign
+// the same code to the same defect.
+// ---------------------------------------------------------------------
+
+#[test]
+fn credit_mutants_fail_validate_and_verify_with_the_same_code() {
+    let undersized = FabricConfig {
+        link_capacity: 10,
+        ..cfg_for(Topology::Clos16)
+    };
+    let mut store_fwd = cfg_for(Topology::Folded8);
+    store_fwd.router.cut_through = false;
+    let zero_epoch = FabricConfig {
+        epoch_cycles: 0,
+        ..cfg_for(Topology::Clos16)
+    };
+    for (cfg, want) in [
+        (undersized, "RV701"),
+        (store_fwd, "RV704"),
+        (zero_epoch, "RV705"),
+    ] {
+        let err = cfg.validate().expect_err("mutant must fail validate");
+        assert_eq!(err.code(), want, "{err:?}");
+        let got = codes(&cfg);
+        assert!(got.contains(&want), "verifier said {got:?}, wanted {want}");
+        // try_new rejects it at the (cheaper) scalar gate, typed.
+        match RawFabric::try_new(cfg) {
+            Err(FabricError::Config(e)) => assert_eq!(e.code(), want),
+            Err(other) => panic!("expected Config rejection, got {other}"),
+            Ok(_) => panic!("expected Config rejection, fabric was built"),
+        }
+    }
+}
+
+#[test]
+fn capacity_error_carries_the_sizing_numbers() {
+    let cfg = FabricConfig {
+        link_capacity: 10,
+        ..cfg_for(Topology::Clos16)
+    };
+    match cfg.validate() {
+        Err(FabricConfigError::CapacityBelowBurst { capacity, bound }) => {
+            assert_eq!(capacity, 10);
+            assert_eq!(bound, cfg.emission_bound());
+        }
+        other => panic!("expected CapacityBelowBurst, got {other:?}"),
+    }
+}
+
+/// An understated stall threshold breaks the symbolic occupancy proof
+/// (RV703) even when every scalar check passes — only expressible at
+/// the spec level, since `FabricConfig` derives the threshold from the
+/// epoch. This is the check that would catch a future refactor
+/// decoupling the executor's threshold from the true emission bound.
+#[test]
+fn understated_stall_threshold_breaks_the_occupancy_proof() {
+    let cfg = cfg_for(Topology::Clos16);
+    let mut spec = raw_fabric::verify::build_spec(&plan(Topology::Clos16), &cfg);
+    spec.credit.emission_bound = cfg.emission_bound() / 2;
+    let v = raw_verify::fabric::verify_fabric(&spec);
+    assert!(v.diags.iter().any(|d| d.code == "RV703"), "{:?}", v.diags);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep + differential: whatever the verifier accepts must
+// also survive dynamically, faults included.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every shipped topology × spray × sane credit sizing verifies
+    /// clean: zero false positives across the configuration space the
+    /// repo actually exposes.
+    #[test]
+    fn topology_spray_capacity_sweep_has_no_false_positives(
+        topo_sel in 0usize..3,
+        spray_sel in any::<bool>(),
+        epoch_sel in 0usize..3,
+        cap_extra in 0usize..64,
+        derive_cap in any::<bool>(),
+    ) {
+        let mut cfg = cfg_for(SHIPPED[topo_sel]);
+        cfg.spray = if spray_sel { SprayMode::Hash } else { SprayMode::LeastOccupancy };
+        cfg.epoch_cycles = [128u64, 256, 512][epoch_sel];
+        cfg.link_capacity = if derive_cap {
+            0 // derive: 3 epochs of buffer
+        } else {
+            cfg.emission_bound() + 1 + cap_extra
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let v = verify_fabric(&cfg);
+        prop_assert!(v.diags.is_empty(), "{:?}: {:?}", cfg.topology, v.diags);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Differential gate: a config the static verifier accepts must
+    /// close its conservation books under a chaos campaign (corruption
+    /// at every input plus an inter-router link stall). The verifier's
+    /// "statically safe" and the executor's "dynamically safe" have to
+    /// agree on the accept side, not just the reject side.
+    #[test]
+    fn verifier_accepted_configs_survive_a_chaos_campaign(
+        seed in any::<u64>(),
+        topo_sel in 1usize..3, // Folded8 / Clos16 — the fabrics with links
+        epoch_sel in 0usize..2,
+    ) {
+        let mut cfg = cfg_for(SHIPPED[topo_sel]);
+        cfg.epoch_cycles = [256u64, 512][epoch_sel];
+        prop_assert!(verify_fabric(&cfg).diags.is_empty());
+
+        let mut packet = FaultPlan::zero(seed);
+        packet.header_flip_ppm = 80_000;
+        packet.payload_flip_ppm = 80_000;
+        packet.ttl_expire_ppm = 40_000;
+        let fault_plan = FabricFaultPlan {
+            packet,
+            link_stalls: vec![LinkStallSpec {
+                link: (seed % 16) as usize,
+                start_epoch: 2,
+                epochs: 3,
+            }],
+            ext_input_pauses: Vec::new(),
+            ext_output_stalls: Vec::new(),
+        };
+        let nports = cfg.topology.ext_ports();
+        let w = Workload {
+            pattern: Pattern::FabricUniform,
+            arrivals: Arrivals::Saturation,
+            packet_bytes: 64,
+            packets_per_port: 6,
+            seed,
+            ttl: 64,
+        };
+        let mut cf = ChaosFabric::try_new(cfg, fault_plan).unwrap();
+        for sp in generate_n(&w, nports) {
+            cf.offer(sp.port, sp.release, &sp.packet);
+        }
+        prop_assert!(cf.fabric.run_until_drained(50_000, false), "fabric wedged");
+        let errs = cf.fabric.conservation_errors();
+        prop_assert!(errs.is_empty(), "seed {seed:#x}: {errs:?}");
+        prop_assert_eq!(
+            cf.fabric.offered(),
+            (nports * w.packets_per_port) as u64
+        );
+    }
+}

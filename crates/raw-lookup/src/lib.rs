@@ -17,7 +17,7 @@ pub mod patricia;
 pub mod table;
 
 pub use dir24::{Dir24_8, DirTable};
-pub use patricia::{mask, PatriciaTable, RouteEntry};
+pub use patricia::{mask, reference_lpm, PatriciaTable, RouteEntry};
 pub use table::{
     decode_hop, encode_multicast, synth_addresses, synth_table, Engine, ForwardingTable, Hop,
     LookupCostModel, MULTICAST_FLAG,

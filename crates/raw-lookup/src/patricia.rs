@@ -33,6 +33,21 @@ impl RouteEntry {
     }
 }
 
+/// Longest-prefix match by linear scan over a plain route slice: the
+/// executable *specification* of LPM that every engine in this crate
+/// (and the fabric-level static verifier in raw-verify) is measured
+/// against. Ties between entries of equal length and equal prefix
+/// resolve to the first entry, matching the table builders' semantics.
+pub fn reference_lpm(routes: &[RouteEntry], addr: u32) -> Option<u32> {
+    let mut best: Option<&RouteEntry> = None;
+    for r in routes {
+        if r.matches(addr) && best.is_none_or(|b| r.len > b.len) {
+            best = Some(r);
+        }
+    }
+    best.map(|r| r.next_hop)
+}
+
 /// Zero out host bits beyond `len`.
 #[inline]
 pub fn mask(addr: u32, len: u8) -> u32 {
@@ -269,6 +284,31 @@ mod tests {
             .map(|o| o.parse::<u32>().unwrap())
             .fold(0u32, |a, o| (a << 8) | o);
         RouteEntry::new(addr, len, hop)
+    }
+
+    #[test]
+    fn reference_lpm_agrees_with_the_patricia_table() {
+        let routes = [
+            e("10.0.0.0", 8, 1),
+            e("10.1.0.0", 16, 2),
+            e("10.1.2.0", 24, 3),
+            e("0.0.0.0", 0, 9),
+        ];
+        let mut t = PatriciaTable::new();
+        for r in &routes {
+            t.insert(*r);
+        }
+        // A deterministic spray of probe addresses, including every
+        // prefix boundary of the table above.
+        let mut probes = vec![0x0a010203, 0x0a010303, 0x0a020303, 0x0b000001, 0, u32::MAX];
+        let mut x = 0x12345678u32;
+        for _ in 0..4096 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            probes.push(x);
+        }
+        for a in probes {
+            assert_eq!(reference_lpm(&routes, a), t.lookup(a), "addr {a:#010x}");
+        }
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!    output may be double-granted, the token holder's bid must win, and
 //!    every minimized body routine must decode back to its local
 //!    configuration.
+//! 5. **Whole-fabric verification** ([`fabric`], `RV5xx`–`RV7xx`) — one
+//!    level up from a single router: channel-dependency-graph deadlock
+//!    proofs over a multi-router fabric's links, line cards, and
+//!    credit-return loops (with the VOQ-ingress and min-1 receive-window
+//!    escape fixes modeled explicitly), routing-soundness walks over the
+//!    per-router LPM tables, and a symbolic per-link credit-sizing
+//!    proof. `raw-fabric` gates `RawFabric::try_new` on this analysis.
 //!
 //! ## Abstract domain
 //!
@@ -44,6 +51,7 @@
 //! external ports are always-ready.
 
 pub mod conflict;
+pub mod fabric;
 pub mod jumptable;
 pub mod lockstep;
 
@@ -58,6 +66,12 @@ pub enum Analysis {
     Lockstep,
     Deadlock,
     JumpTable,
+    /// Fabric-level channel-dependency deadlock analysis (`RV5xx`).
+    FabricDeadlock,
+    /// Fabric-level routing soundness (`RV6xx`).
+    FabricRouting,
+    /// Fabric-level symbolic credit sizing (`RV7xx`).
+    FabricCredits,
 }
 
 // The vendored serde shim only derives on structs; serialize the enum as
@@ -83,6 +97,19 @@ impl Serialize for Analysis {
 /// granted twice, `RV404` token priority violated, `RV405` body routine
 /// does not implement its local configuration, `RV406` assembly jump
 /// table / generated tile program inconsistent.
+///
+/// Fabric-level codes ([`fabric`]): `RV501` structural channel-dependency
+/// cycle (independent of the escape valves), `RV502` FIFO-ingress
+/// head-of-line coupling closes a cycle (VOQ breaks it), `RV503`
+/// receive-window pinning closes a cycle (the min-1 escape slot breaks
+/// it); `RV601` LPM table does not cover the fabric address space,
+/// `RV602` routing loop, `RV603` misdelivery, `RV604` route exits a port
+/// that is neither a link nor a declared external output, `RV605`
+/// ingress table disagrees with the declared spray uplink map; `RV701`
+/// link capacity below the stall threshold plus progress room, `RV702`
+/// non-draining link, `RV703` declared stall threshold cannot absorb the
+/// derived worst-case epoch burst, `RV704` store-and-forward egress has
+/// no emission bound, `RV705` zero-length epoch.
 #[derive(Clone, Debug, Serialize)]
 pub struct Diag {
     pub code: &'static str,
@@ -267,6 +294,18 @@ pub struct Coverage {
     pub max_fifo_high_water: u64,
     /// Scheduling policies covered.
     pub policies: u64,
+    /// Fabric topologies statically verified (RV5xx–RV7xx).
+    pub fabric_topologies: u64,
+    /// Channel-dependency-graph nodes across all verified fabrics.
+    pub fabric_cdg_nodes: u64,
+    /// Channel-dependency-graph edges across all verified fabrics.
+    pub fabric_cdg_edges: u64,
+    /// `(source, destination, spray)` routing walks executed.
+    pub fabric_route_walks: u64,
+    /// Router × fabric-address coverage points checked.
+    pub fabric_coverage_points: u64,
+    /// Inter-router links credit-checked.
+    pub fabric_links: u64,
 }
 
 /// Options for [`verify_all`].

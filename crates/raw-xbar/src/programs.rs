@@ -121,6 +121,22 @@ pub enum IngressQueueing {
     Voq,
 }
 
+impl IngressQueueing {
+    /// True when ingress buffering is per-output (no head-of-line
+    /// coupling between destinations). The fabric-level deadlock
+    /// verifier keys its channel-dependency escape edges off this.
+    pub fn is_voq(&self) -> bool {
+        matches!(self, IngressQueueing::Voq)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            IngressQueueing::Fifo => "fifo",
+            IngressQueueing::Voq => "voq",
+        }
+    }
+}
+
 /// One buffered packet awaiting service in a virtual output queue.
 struct VoqPkt {
     base: u32,
