@@ -189,6 +189,27 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+/// The raw-sched arbiters at 16 ports: one arbitration slot per
+/// iteration, under full load (every VOQ non-empty, the worst case for
+/// iteration counts) and under a sparse near-diagonal load (the
+/// common case once a matching has converged).
+fn bench_sched_arbiter(c: &mut Criterion) {
+    use raw_sched::SchedKind;
+    const PORTS: usize = 16;
+    let full = vec![0xffffu16; PORTS];
+    let sparse: Vec<u16> = (0..PORTS).map(|i| 1u16 << ((i * 5) % PORTS)).collect();
+    let mut g = c.benchmark_group("sched_arbiter");
+    for kind in SchedKind::all() {
+        for (load, reqs) in [("full", &full), ("sparse", &sparse)] {
+            let mut s = kind.build(PORTS);
+            g.bench_function(format!("{}_16port_{load}", kind.name()), |b| {
+                b.iter(|| s.arbitrate(std::hint::black_box(reqs)))
+            });
+        }
+    }
+    g.finish();
+}
+
 /// The Lookup Processor's engines.
 fn bench_lookup(c: &mut Criterion) {
     let routes = synth_table(10_000, 4, 1);
@@ -307,6 +328,7 @@ criterion_group!(
     bench_compiled_step,
     bench_telemetry,
     bench_scheduler,
+    bench_sched_arbiter,
     bench_lookup,
     bench_ipv4,
     bench_fabrics

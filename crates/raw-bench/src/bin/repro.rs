@@ -709,8 +709,92 @@ fn run_fabric() {
     println!("wrote results/fabric.json (every cell fingerprint-verified on both executors)");
 }
 
+fn run_sched() {
+    // `repro -- sched [--smoke]`: the E19 scheduler head-to-head. The
+    // smoke run halves the per-cell span for CI; both lengths keep the
+    // measured window (the second half of the run) in steady state.
+    let (cycles, ppp) = match std::env::args().nth(2).as_deref() {
+        None => (240_000u64, 10_000usize),
+        Some("--smoke") => (120_000, 4_000),
+        Some(s) => panic!("sched: unknown argument '{s}' (expected --smoke)"),
+    };
+    println!(
+        "== sched: rotating token vs iSLIP vs crosspoint-queued, {} patterns x {} arbiters \
+         ({cycles} cycles/cell) ==",
+        sched_patterns().len(),
+        raw_xbar::SchedKind::all().len()
+    );
+    let rep = sched_report(cycles, ppp);
+    let rows: Vec<Vec<String>> = rep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.pattern.clone(),
+                c.scheduler.clone(),
+                format!("{:.3}", c.gbps),
+                c.delivered.to_string(),
+                c.p50.to_string(),
+                c.p99.to_string(),
+                c.p999.to_string(),
+                format!("{:.3}", c.input_fairness),
+                (c.arb_wait_cycles + c.token_wait_cycles).to_string(),
+                c.sched_matched.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "pattern",
+                "arbiter",
+                "gbps",
+                "delivered",
+                "p50",
+                "p99",
+                "p999",
+                "jain",
+                "arb-wait",
+                "matched"
+            ],
+            &rows
+        )
+    );
+    let srows: Vec<Vec<String>> = rep
+        .speedups
+        .iter()
+        .map(|s| {
+            vec![
+                s.pattern.clone(),
+                format!("{:.2}x", s.islip_over_token),
+                format!("{:.2}x", s.cq_over_token),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["pattern", "islip/token", "cq/token"], &srows));
+    write_json(&results_dir(), "sched", &rep).unwrap();
+    let adv = rep
+        .speedups
+        .iter()
+        .find(|s| s.pattern == "adversary")
+        .expect("adversary row");
+    for (nm, x) in [("islip", adv.islip_over_token), ("cq", adv.cq_over_token)] {
+        assert!(
+            x >= 2.0,
+            "{nm} at {x:.2}x the token on the adversary — below the 2.0x floor"
+        );
+    }
+    println!(
+        "adversary floor met: islip {:.2}x, cq {:.2}x over the FIFO token (>= 2.0x)",
+        adv.islip_over_token, adv.cq_over_token
+    );
+}
+
 fn run_verify() {
-    println!("== static verification: conflict / lockstep / deadlock / jump-table / fabric ==");
+    println!(
+        "== static verification: conflict / lockstep / deadlock / jump-table / fabric / sched =="
+    );
     let mut report = raw_verify::verify_all(&raw_verify::VerifyOptions::default());
 
     // Whole-fabric analyses (RV5xx–RV7xx) over every shipped topology,
@@ -730,6 +814,20 @@ fn run_verify() {
     report
         .analyses
         .extend(raw_verify::fabric::fabric_reports(&verdicts));
+
+    // Scheduler analyses (RV8xx): drive the executable arbiters over the
+    // exhaustive request space and persistent-demand traces.
+    let sched_verdicts =
+        raw_verify::sched::sched_verdicts(&raw_verify::sched::SchedVerifyOptions::default());
+    for v in &sched_verdicts {
+        report.programs_checked.push(format!("sched-{}", v.name));
+        report.coverage.sched_matchings += v.matchings_checked;
+        report.coverage.sched_trace_slots += v.trace_slots;
+        report.diagnostics.extend(v.diags.iter().cloned());
+    }
+    report
+        .analyses
+        .extend(raw_verify::sched::sched_reports(&sched_verdicts));
     report.pass = report.diagnostics.is_empty();
 
     let rows: Vec<Vec<String>> = report
@@ -774,6 +872,10 @@ fn run_verify() {
         cov.fabric_route_walks,
         cov.fabric_coverage_points,
         cov.fabric_links
+    );
+    println!(
+        "sched coverage: {} matchings validity/routability-checked, {} persistent-demand slots",
+        cov.sched_matchings, cov.sched_trace_slots
     );
     for d in &report.diagnostics {
         println!("  {d}");
@@ -820,13 +922,14 @@ fn main() {
     run("telemetry", &run_telemetry);
     run("chaos", &run_chaos);
     run("fabric", &run_fabric);
+    run("sched", &run_sched);
     run("verify", &run_verify);
     if !matched {
         eprintln!(
             "unknown experiment '{cmd}'. Available: all fig3-2 table6-1 fig7-2 fig7-1-peak \
              fig7-1-avg fig7-3 ch2-claims fairness ablation-net2 deadlock-sweep \
              multicast scaling ablation-quantum ablation-lookup ablation-voq asm-crossbar latency \
-             simspeed telemetry chaos fabric verify"
+             simspeed telemetry chaos fabric sched verify"
         );
         std::process::exit(2);
     }

@@ -9,6 +9,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod fabric;
 pub mod report;
+pub mod sched;
 pub mod simspeed;
 pub mod telemetry;
 
@@ -16,5 +17,6 @@ pub use chaos::*;
 pub use experiments::*;
 pub use fabric::*;
 pub use report::*;
+pub use sched::*;
 pub use simspeed::*;
 pub use telemetry::*;

@@ -386,11 +386,11 @@ impl RawMachine {
                 *su = (*su).max(e);
             }
             let (activity, hint) = if cycle < self.tiles[t].stall_until {
-                (Activity::CacheStall, false)
+                (Activity::CacheStall, (false, false))
             } else if plan.idle_tiles[t] {
                 // An idle stub's tick is a no-op: it records Idle and no
                 // token-wait hint, exactly what this shortcut records.
-                (Activity::Idle, false)
+                (Activity::Idle, (false, false))
             } else {
                 let mut program = self.tiles[t].program.take();
                 let outcome = if let Some(prog) = program.as_mut() {
@@ -412,17 +412,18 @@ impl RawMachine {
                         &mut tile.stall_until,
                     );
                     prog.tick(&mut io);
-                    let hint = io.token_wait_hint;
+                    let hint = (io.token_wait_hint, io.arb_wait_hint);
                     (io.take_activity(), hint)
                 } else {
-                    (Activity::Idle, false)
+                    (Activity::Idle, (false, false))
                 };
                 self.tiles[t].program = program;
                 outcome
             };
             self.tiles[t].stats.record(activity);
             self.last_activity[t] = activity;
-            self.token_hint[t] = hint;
+            self.token_hint[t] = hint.0;
+            self.arb_hint[t] = hint.1;
             if let Some(tr) = &mut self.trace {
                 tr.record(t, cycle, activity);
             }
@@ -433,7 +434,11 @@ impl RawMachine {
             for t in 0..n {
                 g.tile_cycles(
                     t as u16,
-                    super::machine::refine_state(self.last_activity[t], self.token_hint[t]),
+                    super::machine::refine_state(
+                        self.last_activity[t],
+                        self.token_hint[t],
+                        self.arb_hint[t],
+                    ),
                     1,
                 );
             }

@@ -24,20 +24,29 @@ use crate::trace::{Activity, TileStats, TraceWindow};
 use raw_telemetry::{SharedSink, SwitchStallCause, TileState};
 
 /// Refine a coarse [`Activity`] into the telemetry [`TileState`]. The
-/// token-wait hint (set by a program through
-/// [`TileIo::hint_token_wait`][crate::program::TileIo::hint_token_wait])
-/// reclassifies cycles that would otherwise read as idle or
-/// blocked-receive while waiting on the crossbar grant protocol.
+/// token-wait and arb-wait hints (set by a program through
+/// [`TileIo::hint_token_wait`][crate::program::TileIo::hint_token_wait] /
+/// [`TileIo::hint_arb_wait`][crate::program::TileIo::hint_arb_wait])
+/// reclassify cycles that would otherwise read as idle or
+/// blocked-receive while waiting on the crossbar grant protocol (the
+/// arb hint wins when a program sets both).
 #[inline]
-pub(crate) fn refine_state(a: Activity, token_hint: bool) -> TileState {
-    match a {
-        Activity::Busy => TileState::Busy,
-        Activity::Idle if token_hint => TileState::TokenWait,
-        Activity::Idle => TileState::Idle,
-        Activity::BlockedSend => TileState::FifoFull,
-        Activity::BlockedRecv if token_hint => TileState::TokenWait,
-        Activity::BlockedRecv => TileState::FifoEmpty,
-        Activity::CacheStall => TileState::CacheStall,
+pub(crate) fn refine_state(a: Activity, token_hint: bool, arb_hint: bool) -> TileState {
+    let wait = if arb_hint {
+        Some(TileState::ArbWait)
+    } else if token_hint {
+        Some(TileState::TokenWait)
+    } else {
+        None
+    };
+    match (a, wait) {
+        (Activity::Busy, _) => TileState::Busy,
+        (Activity::Idle, Some(w)) => w,
+        (Activity::Idle, None) => TileState::Idle,
+        (Activity::BlockedSend, _) => TileState::FifoFull,
+        (Activity::BlockedRecv, Some(w)) => w,
+        (Activity::BlockedRecv, None) => TileState::FifoEmpty,
+        (Activity::CacheStall, _) => TileState::CacheStall,
     }
 }
 
@@ -181,6 +190,9 @@ pub struct RawMachine {
     /// Per-tile token-wait hint from the most recent tick (see
     /// [`refine_state`]).
     pub(crate) token_hint: Vec<bool>,
+    /// Per-tile arbitration-wait hint from the most recent tick (see
+    /// [`refine_state`]; scheduler mode's analogue of `token_hint`).
+    pub(crate) arb_hint: Vec<bool>,
     /// Last switch stall cause per `(tile, net)`, maintained only while a
     /// telemetry sink is attached; fast-forward credits skipped stall
     /// cycles to it, mirroring `switch_stall_cycles` bulk crediting.
@@ -250,6 +262,7 @@ impl RawMachine {
             telemetry: None,
             telemetry_active: false,
             token_hint: vec![false; n],
+            arb_hint: vec![false; n],
             last_switch_cause: vec![[SwitchStallCause::FifoEmpty; NUM_STATIC_NETS]; n],
             last_activity: vec![Activity::Idle; n],
             stall_windows: vec![Vec::new(); n],
@@ -601,7 +614,7 @@ impl RawMachine {
                 *su = (*su).max(e);
             }
             let (activity, hint) = if cycle < self.tiles[t].stall_until {
-                (Activity::CacheStall, false)
+                (Activity::CacheStall, (false, false))
             } else {
                 let mut program = self.tiles[t].program.take();
                 let outcome = if let Some(prog) = program.as_mut() {
@@ -623,17 +636,18 @@ impl RawMachine {
                         &mut tile.stall_until,
                     );
                     prog.tick(&mut io);
-                    let hint = io.token_wait_hint;
+                    let hint = (io.token_wait_hint, io.arb_wait_hint);
                     (io.take_activity(), hint)
                 } else {
-                    (Activity::Idle, false)
+                    (Activity::Idle, (false, false))
                 };
                 self.tiles[t].program = program;
                 outcome
             };
             self.tiles[t].stats.record(activity);
             self.last_activity[t] = activity;
-            self.token_hint[t] = hint;
+            self.token_hint[t] = hint.0;
+            self.arb_hint[t] = hint.1;
             if let Some(tr) = &mut self.trace {
                 tr.record(t, cycle, activity);
             }
@@ -646,7 +660,7 @@ impl RawMachine {
             for t in 0..n {
                 g.tile_cycles(
                     t as u16,
-                    refine_state(self.last_activity[t], self.token_hint[t]),
+                    refine_state(self.last_activity[t], self.token_hint[t], self.arb_hint[t]),
                     1,
                 );
             }
@@ -1041,7 +1055,7 @@ impl RawMachine {
             for (t, tile) in self.tiles.iter().enumerate() {
                 g.tile_cycles(
                     t as u16,
-                    refine_state(self.last_activity[t], self.token_hint[t]),
+                    refine_state(self.last_activity[t], self.token_hint[t], self.arb_hint[t]),
                     span,
                 );
                 for (net, st) in tile.switch_state.iter().enumerate() {

@@ -102,6 +102,9 @@ pub struct TileIo<'a> {
     /// Set by [`TileIo::hint_token_wait`]; read by the machine to refine
     /// this cycle's activity for telemetry.
     pub(crate) token_wait_hint: bool,
+    /// Set by [`TileIo::hint_arb_wait`]: like the token hint, but the
+    /// wait is on a per-slot scheduler decision (iSLIP / crosspoint).
+    pub(crate) arb_wait_hint: bool,
     acted: bool,
 }
 
@@ -136,6 +139,7 @@ impl<'a> TileIo<'a> {
             stall_until,
             activity: Activity::Idle,
             token_wait_hint: false,
+            arb_wait_hint: false,
             acted: false,
         }
     }
@@ -406,6 +410,15 @@ impl<'a> TileIo<'a> {
     /// fifo-empty stall attribution).
     pub fn hint_token_wait(&mut self) {
         self.token_wait_hint = true;
+    }
+
+    /// Like [`TileIo::hint_token_wait`], but the wait is on a per-slot
+    /// *scheduler* decision (iSLIP or crosspoint arbitration rather than
+    /// the rotating token). Telemetry credits the cycle to the
+    /// `arb_wait` bucket so scheduler head-to-heads can attribute
+    /// arbitration stalls separately.
+    pub fn hint_arb_wait(&mut self) {
+        self.arb_wait_hint = true;
     }
 
     /// Permit one more retiring call within this cycle.

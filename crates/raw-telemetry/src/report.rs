@@ -35,8 +35,8 @@ pub struct OutputStats {
 }
 
 /// Refined per-tile cycle accounting. The conservation invariant is
-/// `busy + idle + fifo_full + fifo_empty + cache_stall + token_wait ==
-/// total`.
+/// `busy + idle + fifo_full + fifo_empty + cache_stall + token_wait +
+/// arb_wait == total`.
 #[derive(Clone, Debug, Serialize)]
 pub struct TileStallStats {
     pub tile: u16,
@@ -47,6 +47,7 @@ pub struct TileStallStats {
     pub fifo_empty: u64,
     pub cache_stall: u64,
     pub token_wait: u64,
+    pub arb_wait: u64,
     /// Dominant stall cause by count ("none" if the tile never stalled).
     pub top_stall: String,
 }
@@ -183,6 +184,7 @@ impl Recorder {
                     fifo_empty: c[TileState::FifoEmpty.index()],
                     cache_stall: c[TileState::CacheStall.index()],
                     token_wait: c[TileState::TokenWait.index()],
+                    arb_wait: c[TileState::ArbWait.index()],
                     top_stall: top.map_or("none".to_string(), |s| s.name().to_string()),
                 }
             })

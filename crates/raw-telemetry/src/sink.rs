@@ -46,10 +46,15 @@ pub enum TileState {
     /// Waiting on the crossbar token/grant protocol (hinted by the
     /// ingress program; otherwise these cycles would read as idle).
     TokenWait,
+    /// Waiting on a per-slot arbitration decision (iSLIP / crosspoint
+    /// schedulers; hinted by the ingress program in scheduler mode).
+    /// Kept separate from [`TileState::TokenWait`] so scheduler
+    /// head-to-heads attribute their wait cycles to the arbiter.
+    ArbWait,
 }
 
 impl TileState {
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
     pub const ALL: [TileState; TileState::COUNT] = [
         TileState::Idle,
         TileState::Busy,
@@ -57,6 +62,7 @@ impl TileState {
         TileState::FifoEmpty,
         TileState::CacheStall,
         TileState::TokenWait,
+        TileState::ArbWait,
     ];
 
     #[inline]
@@ -68,6 +74,7 @@ impl TileState {
             TileState::FifoEmpty => 3,
             TileState::CacheStall => 4,
             TileState::TokenWait => 5,
+            TileState::ArbWait => 6,
         }
     }
 
@@ -79,6 +86,7 @@ impl TileState {
             TileState::FifoEmpty => "fifo_empty",
             TileState::CacheStall => "cache_stall",
             TileState::TokenWait => "token_wait",
+            TileState::ArbWait => "arb_wait",
         }
     }
 

@@ -54,6 +54,7 @@ pub mod conflict;
 pub mod fabric;
 pub mod jumptable;
 pub mod lockstep;
+pub mod sched;
 
 use serde::Serialize;
 
@@ -72,6 +73,12 @@ pub enum Analysis {
     FabricRouting,
     /// Fabric-level symbolic credit sizing (`RV7xx`).
     FabricCredits,
+    /// Scheduler matching validity & ring routability (`RV801`).
+    SchedMatching,
+    /// Scheduler starvation freedom / bounded wait (`RV802`).
+    SchedStarvation,
+    /// Scheduler crosspoint occupancy bound (`RV803`).
+    SchedOccupancy,
 }
 
 // The vendored serde shim only derives on structs; serialize the enum as
@@ -110,6 +117,11 @@ impl Serialize for Analysis {
 /// non-draining link, `RV703` declared stall threshold cannot absorb the
 /// derived worst-case epoch burst, `RV704` store-and-forward egress has
 /// no emission bound, `RV705` zero-length epoch.
+///
+/// Scheduler codes ([`sched`]): `RV801` invalid or non-ring-routable
+/// matching (port conflict, unrequested grant), `RV802` a persistently
+/// requesting input starves past the wait bound, `RV803` a crosspoint
+/// buffer exceeds its declared capacity.
 #[derive(Clone, Debug, Serialize)]
 pub struct Diag {
     pub code: &'static str,
@@ -306,6 +318,11 @@ pub struct Coverage {
     pub fabric_coverage_points: u64,
     /// Inter-router links credit-checked.
     pub fabric_links: u64,
+    /// Scheduler matchings checked for validity/routability (RV801).
+    pub sched_matchings: u64,
+    /// Persistent-demand trace slots driven over the arbiters
+    /// (RV802/RV803).
+    pub sched_trace_slots: u64,
 }
 
 /// Options for [`verify_all`].

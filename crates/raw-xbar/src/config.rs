@@ -223,6 +223,36 @@ pub fn schedule(bids: [Bid; NPORTS], token: Port, policy: SchedPolicy) -> Global
     }
 }
 
+/// Realize an externally computed crossbar *matching* (`matching[i] =
+/// Some(dst)` connects ingress `i` to egress `dst`; distinct inputs map
+/// to distinct outputs) as a [`GlobalSchedule`] on the ring.
+///
+/// This is the bridge between the `raw-sched` arbiters and the paper's
+/// jump-table machinery: the walk is run with the token pinned at 0, so
+/// a matching maps to the *same* unicast jump-table entry on every
+/// crossbar tile (`global_index(0, hdrs)` with `hdrs[i] =
+/// matching[i].unwrap_or(4)`), and no scheduler-specific tables are
+/// needed. Soundness — that the walk grants *every* matched input, i.e.
+/// that any injective matching is simultaneously routable on the ring —
+/// holds only under [`SchedPolicy::ShortestFirst`] (under `CwFirst` the
+/// greedy long clockwise paths exhaust the ring: e.g. `[3,2,0,1]` loses
+/// the `2→0` flow), so the policy is pinned here and the router rejects
+/// scheduler mode with any other policy. The guarantee is checked
+/// exhaustively by `matchings_are_always_routable` below and re-proven
+/// per-arbiter by the RV801 analysis.
+pub fn schedule_matching(matching: [Option<Port>; NPORTS]) -> GlobalSchedule {
+    let bids: [Bid; NPORTS] = std::array::from_fn(|i| matching[i].map_or(Bid::EMPTY, Bid::unicast));
+    let sched = schedule(bids, 0, SchedPolicy::ShortestFirst);
+    for i in 0..NPORTS {
+        debug_assert_eq!(
+            sched.granted[i],
+            matching[i].is_some(),
+            "injective matching {matching:?} not fully routable",
+        );
+    }
+    sched
+}
+
 fn try_reserve_unicast(res: &mut Resources, src: usize, dst: usize, dir: RingDir) -> bool {
     let d = match dir {
         RingDir::Cw => cw_dist(src, dst),
@@ -503,6 +533,55 @@ mod tests {
     #[test]
     fn space_size_matches_section_6_1() {
         assert_eq!(GLOBAL_SPACE, 2500);
+    }
+
+    /// Soundness of the `raw-sched` bridge: *every* partial injective
+    /// matching (209 of them at 4 ports) is simultaneously routable by
+    /// the token-0 shortest-first walk. This is what lets the
+    /// scheduler-mode crossbar reuse the unicast jump table: a
+    /// conflict-free grant set never loses a flow to ring contention.
+    /// (`CwFirst` does *not* have this property — see the counterexample
+    /// asserted below — which is why `schedule_matching` pins the
+    /// policy.)
+    #[test]
+    fn matchings_are_always_routable() {
+        let mut count = 0usize;
+        // Odometer over [None, Some(0)..Some(3)]^4, filtered injective.
+        for x in 0..HDR_VALUES.pow(NPORTS as u32) {
+            let mut v = x;
+            let m: [Option<Port>; NPORTS] = std::array::from_fn(|_| {
+                let h = v % HDR_VALUES;
+                v /= HDR_VALUES;
+                (h < NPORTS).then_some(h as Port)
+            });
+            let mut used = 0u8;
+            let injective = m.iter().flatten().all(|&d| {
+                let fresh = used & (1 << d) == 0;
+                used |= 1 << d;
+                fresh
+            });
+            if !injective {
+                continue;
+            }
+            count += 1;
+            let s = schedule_matching(m);
+            for i in 0..NPORTS {
+                assert_eq!(s.granted[i], m[i].is_some(), "{m:?}");
+            }
+        }
+        assert_eq!(count, 209); // sum_k C(4,k)^2 * k!
+
+        // The CwFirst counterexample that forces the policy pin: greedy
+        // clockwise routing of 0→3 and 1→2 exhausts the links flow 2→0
+        // needs in either direction.
+        let bids = [
+            Bid::unicast(3),
+            Bid::unicast(2),
+            Bid::unicast(0),
+            Bid::unicast(1),
+        ];
+        let s = schedule(bids, 0, SchedPolicy::CwFirst);
+        assert!(!s.granted.iter().all(|&g| g));
     }
 
     /// The Figure 5-1 worked example: bids [2,3,0,1] with the token at

@@ -29,12 +29,15 @@ pub mod programs;
 pub mod router;
 pub mod scale;
 
-pub use config::{Bid, Client, ConfigSpace, GlobalSchedule, LocalConfig, RingDir, SchedPolicy};
+pub use config::{
+    schedule_matching, Bid, Client, ConfigSpace, GlobalSchedule, LocalConfig, RingDir, SchedPolicy,
+};
 pub use devices::{LineCardIn, LineCardOut, OutCollector, OutFraming};
 pub use layout::{PortTiles, RouterLayout, NPORTS};
 pub use programs::{
     EgressMode, EgressStats, IngressQueueing, IngressStats, LookupStats, XbarStats,
 };
+pub use raw_sched::SchedKind;
 pub use router::{token_schedule, LookupFault, RawRouter, RouterConfig};
 pub use scale::{
     mesh_scaling_throughput, ring_saturation_throughput, ring_walk, ScalingCurve, ScalingPoint,

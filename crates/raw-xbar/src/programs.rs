@@ -309,6 +309,10 @@ pub struct IngressProgram {
     verify_cycles: u32,
     compute_op: ComputeOp,
     queueing: IngressQueueing,
+    /// Scheduler mode: bid the whole VOQ occupancy mask instead of one
+    /// rotating head-of-queue header; the grant word names the VOQ the
+    /// crossbar's arbiter elected to serve. Requires VOQ queueing.
+    sched: bool,
     voq: VoqState,
     seq: u16,
     cur: Option<CurPkt>,
@@ -351,8 +355,13 @@ impl IngressProgram {
         verify_cycles: u32,
         compute_op: ComputeOp,
         queueing: IngressQueueing,
+        sched: bool,
     ) -> (IngressProgram, Arc<Mutex<IngressStats>>) {
         let _ = tiles;
+        assert!(
+            !sched || queueing == IngressQueueing::Voq,
+            "scheduler mode bids VOQ occupancy masks"
+        );
         let stats = Arc::new(Mutex::new(IngressStats::default()));
         (
             IngressProgram {
@@ -371,6 +380,7 @@ impl IngressProgram {
                 verify_cycles,
                 compute_op,
                 queueing,
+                sched,
                 voq: VoqState::new(),
                 seq: 0,
                 cur: None,
@@ -440,24 +450,10 @@ impl IngressProgram {
             // Rotate from the rr pointer to the first non-empty queue.
             for k in 0..NPORTS {
                 let q = (self.voq.rr + k) % NPORTS;
-                let Some(p) = self.voq.queues[q].front() else {
+                if self.voq.queues[q].is_empty() {
                     continue;
-                };
-                let remaining = p.total_words - p.streamed;
-                let frag_words = remaining.min(self.quantum);
-                return Some((
-                    FragTag {
-                        dst_mask: p.dst_mask,
-                        src_port: self.port,
-                        words: frag_words as u16,
-                        seq: p.seq,
-                        first: p.streamed == 0,
-                        last: remaining <= self.quantum,
-                        op: self.compute_op,
-                    },
-                    FragMode::Proc,
-                    Some(q),
-                ));
+                }
+                return Some((self.voq_head_tag(q), FragMode::Proc, Some(q)));
             }
             return None;
         }
@@ -495,6 +491,36 @@ impl IngressProgram {
             mode,
             None,
         ))
+    }
+
+    /// Scheduler-mode bid word: the VOQ occupancy mask (bit `j` set ⇔
+    /// queue `j` has a packet to serve). 0 = nothing queued.
+    fn voq_mask(&self) -> u8 {
+        let mut m = 0u8;
+        for (j, q) in self.voq.queues.iter().enumerate() {
+            if !q.is_empty() {
+                m |= 1 << j;
+            }
+        }
+        m
+    }
+
+    /// The fragment tag for serving VOQ `q`'s head packet now. Shared by
+    /// the rotating-bid planner and the scheduler-mode grant path (which
+    /// learns the elected queue only when the grant word arrives).
+    fn voq_head_tag(&self, q: usize) -> FragTag {
+        let p = self.voq.queues[q].front().expect("serving an empty VOQ");
+        let remaining = p.total_words - p.streamed;
+        let frag_words = remaining.min(self.quantum);
+        FragTag {
+            dst_mask: p.dst_mask,
+            src_port: self.port,
+            words: frag_words as u16,
+            seq: p.seq,
+            first: p.streamed == 0,
+            last: remaining <= self.quantum,
+            op: self.compute_op,
+        }
     }
 
     /// How many wire words the intake machine wants delivered next.
@@ -951,7 +977,23 @@ impl TileProgram for IngressProgram {
                     self.drive = Drive::CollectGrant { real };
                     return;
                 }
-                if let Some((tag, mode, voq_q)) = self.plan_fragment() {
+                if self.sched {
+                    // Scheduler mode: bid the whole occupancy mask; which
+                    // queue gets served is the arbiter's choice, learned
+                    // from the grant word — no fragment is planned yet.
+                    let mask = self.voq_mask();
+                    if mask != 0 {
+                        self.pending_tag = None;
+                        self.ingests_since_bid = 0;
+                        self.ev(io.cycle, "bid-real");
+                        io.set_switch_pc(NET0, self.bid_send_pc);
+                        self.drive = Drive::BidSend {
+                            word: u32::from(mask),
+                            real: true,
+                        };
+                        return;
+                    }
+                } else if let Some((tag, mode, voq_q)) = self.plan_fragment() {
                     self.pending_tag = Some((tag, mode, voq_q));
                     self.ingests_since_bid = 0;
                     self.ev(io.cycle, "bid-real");
@@ -988,11 +1030,13 @@ impl TileProgram for IngressProgram {
                     return;
                 }
                 // Keep the crossbar rotating (and clear the ingest debt).
+                // Scheduler mode's empty bid is the all-zero request mask
+                // (EMPTY_HDR would decode as the all-ports mask there).
                 self.ingests_since_bid = 0;
                 self.ev(io.cycle, "bid-empty");
                 io.set_switch_pc(NET0, self.bid_send_pc);
                 self.drive = Drive::BidSend {
-                    word: EMPTY_HDR,
+                    word: if self.sched { 0 } else { EMPTY_HDR },
                     real: false,
                 };
             }
@@ -1028,7 +1072,10 @@ impl TileProgram for IngressProgram {
             Drive::CollectGrant { real } => {
                 if io.can_recv_static(NET0) {
                     let g = io.recv_static(NET0).expect("polled");
-                    let granted = g == GRANT && *real;
+                    // Scheduler-mode grant words carry the elected VOQ in
+                    // bits 8.. (token mode sends bare GRANT/DENY, so the
+                    // low-byte compare is equivalent there).
+                    let granted = (g & 0xff) == GRANT && *real;
                     let mut s = self.stats.lock().unwrap();
                     if granted {
                         s.grants += 1;
@@ -1036,6 +1083,18 @@ impl TileProgram for IngressProgram {
                         s.denies += 1;
                     }
                     drop(s);
+                    if granted && self.sched {
+                        // Plan the fragment only now: the arbiter picked
+                        // the queue. Sound because queues only grow
+                        // between bid and grant — the bid mask's queues
+                        // still have their head packets.
+                        let q = ((g >> 8) & 0x3) as usize;
+                        debug_assert!(
+                            !self.voq.queues[q].is_empty(),
+                            "arbiter granted VOQ {q} which was never bid"
+                        );
+                        self.pending_tag = Some((self.voq_head_tag(q), FragMode::Proc, Some(q)));
+                    }
                     if granted {
                         self.ev(io.cycle, "granted");
                         if self.telemetry.is_some() {
@@ -1056,9 +1115,15 @@ impl TileProgram for IngressProgram {
                         self.drive = Drive::Idle;
                     }
                 } else if !self.proc_step(io) {
-                    // Waiting for the crossbar's grant word: this is the
-                    // arbitration (token) wait, not plain idleness.
-                    io.hint_token_wait();
+                    // Waiting for the crossbar's grant word: this is an
+                    // arbitration wait, not plain idleness — attributed
+                    // to the token protocol or the slot scheduler so the
+                    // head-to-head stall tables separate the two.
+                    if self.sched {
+                        io.hint_arb_wait();
+                    } else {
+                        io.hint_token_wait();
+                    }
                     io.idle();
                 }
             }
@@ -1176,6 +1241,13 @@ impl TileProgram for IngressProgram {
                     self.ev(io.cycle, "stream-end");
                     self.finish_fragment(tag, mode, voq_q);
                     self.drive = Drive::Idle;
+                    // Re-enter Idle in the same tick (the WaitHalt idiom):
+                    // ending the turn here would record no io action, and
+                    // the event-skip engine would park the tile waiting
+                    // for an external event — which never comes when the
+                    // wire FIFO is already full and every peer is blocked
+                    // on this tile's next bid.
+                    self.tick(io);
                 } else if !self.proc_step(io) {
                     io.idle();
                 }
@@ -1327,26 +1399,54 @@ pub struct XbarStats {
     pub grants_issued: u64,
     pub active_quanta: u64,
     pub token_history_check: u64,
+    /// Scheduler mode only: total arbitration iterations charged (iSLIP
+    /// runs up to `iters` request/grant/accept rounds per quantum).
+    pub sched_iterations: u64,
+    /// Scheduler mode only: total matched input/output pairs granted.
+    pub sched_matched: u64,
 }
 
 enum XbSt {
     WaitHalt,
     RecvOwn,
     RingSendOwn,
-    RingRecv { k: usize },
-    RingFwd { k: usize },
-    ComputeIdx { left: u32 },
+    RingRecv {
+        k: usize,
+    },
+    RingFwd {
+        k: usize,
+    },
+    ComputeIdx {
+        left: u32,
+    },
     LoadEntry,
-    SendGrant { grant: bool, cfg_pc: usize },
-    SwpcCfg { cfg_pc: usize },
+    SendGrant {
+        grant: bool,
+        gword: u32,
+        cfg_pc: usize,
+    },
+    SwpcCfg {
+        cfg_pc: usize,
+    },
 }
 
 pub struct CrossbarProgram {
     port: u8,
     /// True when the jump table covers the multicast alphabet.
     multicast: bool,
+    /// Scheduler mode (`Some`): the bid words are raw VOQ request masks
+    /// and this tile's replica of the arbiter turns them into a
+    /// matching, realized against the ordinary unicast jump table via
+    /// `global_index(0, ..)` (see `config::schedule_matching`). All four
+    /// crossbar tiles run identical replicas over identical bid vectors,
+    /// so their matchings agree without extra communication — exactly
+    /// how the paper replicates the token counter (§5.1).
+    sched: Option<Box<dyn raw_sched::Scheduler>>,
+    /// Scheduler mode: the matching the current quantum realizes.
+    matching: [Option<u8>; NPORTS],
     /// Encoded headers of all four ports this quantum (unicast alphabet:
-    /// 0..=3 dest + 4 empty; multicast alphabet: the destination mask).
+    /// 0..=3 dest + 4 empty; multicast alphabet: the destination mask;
+    /// scheduler mode: the raw VOQ request mask, 0 = nothing queued).
     hdrs: [u8; NPORTS],
     /// The token schedule (weighted round robin, §8.7) and position.
     token_seq: Vec<u8>,
@@ -1370,14 +1470,25 @@ impl CrossbarProgram {
         token_seq: Vec<u8>,
         idx_cycles: u32,
         multicast: bool,
+        sched: Option<Box<dyn raw_sched::Scheduler>>,
     ) -> (CrossbarProgram, Arc<Mutex<XbarStats>>) {
         assert!(!token_seq.is_empty());
+        assert!(
+            sched.is_none() || !multicast,
+            "scheduler arbitration is unicast-only"
+        );
         let stats = Arc::new(Mutex::new(XbarStats::default()));
-        let empty_code = if multicast { 0 } else { HDR_VALUES as u8 - 1 };
+        let empty_code = if sched.is_some() || multicast {
+            0
+        } else {
+            HDR_VALUES as u8 - 1
+        };
         (
             CrossbarProgram {
                 port,
                 multicast,
+                sched,
+                matching: [None; NPORTS],
                 hdrs: [empty_code; NPORTS],
                 token_seq,
                 q: 0,
@@ -1405,7 +1516,10 @@ impl CrossbarProgram {
     }
 
     fn hdr_code(&self, w: u32) -> u8 {
-        if self.multicast {
+        if self.sched.is_some() {
+            // Scheduler-mode bid words carry the raw VOQ request mask.
+            (w & 0xf) as u8
+        } else if self.multicast {
             if w == EMPTY_HDR {
                 0 // empty = no destinations
             } else {
@@ -1419,7 +1533,14 @@ impl CrossbarProgram {
     }
 
     fn table_index(&self) -> usize {
-        if self.multicast {
+        if self.sched.is_some() {
+            // The matching, re-encoded as unicast headers with the token
+            // pinned at 0: the same jump-table entry on every tile (see
+            // `config::schedule_matching`).
+            let hdrs: [u8; NPORTS] =
+                std::array::from_fn(|i| self.matching[i].unwrap_or(NPORTS as u8));
+            global_index(0, hdrs)
+        } else if self.multicast {
             global_index_mcast(self.token(), self.hdrs)
         } else {
             global_index(self.token(), self.hdrs)
@@ -1467,9 +1588,24 @@ impl TileProgram for CrossbarProgram {
                     self.st = if kk < 2 {
                         XbSt::RingFwd { k: kk }
                     } else {
-                        XbSt::ComputeIdx {
-                            left: self.idx_cycles,
+                        // All four bids are in. In scheduler mode run the
+                        // arbiter replica now and charge its iteration
+                        // cost on top of the baseline index computation
+                        // (NPORTS cycles per request/grant/accept round).
+                        let mut left = self.idx_cycles;
+                        if let Some(s) = self.sched.as_mut() {
+                            let reqs: [u16; NPORTS] =
+                                std::array::from_fn(|i| u16::from(self.hdrs[i]));
+                            let m = s.arbitrate(&reqs);
+                            debug_assert!(raw_sched::matching_is_valid(&reqs, &m));
+                            self.matching = std::array::from_fn(|i| m[i]);
+                            let iters = s.last_iterations();
+                            left += NPORTS as u32 * iters;
+                            let mut st = self.stats.lock().unwrap();
+                            st.sched_iterations += u64::from(iters);
+                            st.sched_matched += raw_sched::matching_size(&m) as u64;
                         }
+                        XbSt::ComputeIdx { left }
                     };
                 }
             }
@@ -1492,12 +1628,36 @@ impl TileProgram for CrossbarProgram {
                     let grant = entry >> 31 == 1;
                     let cfg_id = (entry & 0xffff) as usize;
                     let cfg_pc = self.cfg_pcs[cfg_id];
-                    self.st = XbSt::SendGrant { grant, cfg_pc };
+                    let gword = if self.sched.is_some() {
+                        // Scheduler mode: the grant word also names the
+                        // VOQ being served (the ingress bid a mask, not
+                        // a destination). The jump table must agree with
+                        // the matching — the routability property proven
+                        // by `matchings_are_always_routable` / RV801.
+                        debug_assert_eq!(grant, self.matching[me].is_some());
+                        match self.matching[me] {
+                            Some(dst) => GRANT | (u32::from(dst) << 8),
+                            None => DENY,
+                        }
+                    } else if grant {
+                        GRANT
+                    } else {
+                        DENY
+                    };
+                    self.st = XbSt::SendGrant {
+                        grant,
+                        gword,
+                        cfg_pc,
+                    };
                 }
             }
-            XbSt::SendGrant { grant, cfg_pc } => {
-                let (g, pc) = (*grant, *cfg_pc);
-                if io.send_static(if g { GRANT } else { DENY }) {
+            XbSt::SendGrant {
+                grant,
+                gword,
+                cfg_pc,
+            } => {
+                let (g, gw, pc) = (*grant, *gword, *cfg_pc);
+                if io.send_static(gw) {
                     let mut s = self.stats.lock().unwrap();
                     s.quanta += 1;
                     if g {

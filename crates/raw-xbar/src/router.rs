@@ -59,6 +59,15 @@ pub struct RouterConfig {
     /// Deterministic lookup-table fault injection (chaos testing): forced
     /// misses fall back to the default route after a penalty.
     pub lookup_fault: Option<LookupFault>,
+    /// Crossbar arbitration policy. [`raw_sched::SchedKind::Token`] is
+    /// the paper's protocol unchanged. The alternatives (iSLIP,
+    /// crosspoint-queued) replace the token walk with a replicated
+    /// per-slot arbiter over VOQ occupancy masks: same static network,
+    /// same ingest and egress paths, different matchings. Non-token
+    /// arbiters require VOQ queueing, unicast traffic, the native
+    /// crossbar cores, and the shortest-first policy (the only one under
+    /// which every injective matching is ring-routable).
+    pub arbiter: raw_sched::SchedKind,
     pub raw: RawConfig,
 }
 
@@ -91,6 +100,7 @@ impl Default for RouterConfig {
             multicast: false,
             debug_events: false,
             lookup_fault: None,
+            arbiter: raw_sched::SchedKind::Token,
             raw: RawConfig::default(),
         }
     }
@@ -194,6 +204,33 @@ impl RawRouter {
         if cfg.asm_crossbar && !cfg.weights.iter().all(|&w| w == 1) {
             return Err("the assembly crossbar uses a plain modulo-4 token".into());
         }
+        if !cfg.arbiter.is_token() {
+            if cfg.queueing != crate::programs::IngressQueueing::Voq {
+                return Err(format!(
+                    "the {} arbiter bids VOQ occupancy masks and requires VOQ queueing",
+                    cfg.arbiter.name()
+                ));
+            }
+            if cfg.multicast {
+                return Err(format!(
+                    "the {} arbiter computes unicast matchings; multicast needs the token protocol",
+                    cfg.arbiter.name()
+                ));
+            }
+            if cfg.asm_crossbar {
+                return Err(format!(
+                    "the {} arbiter runs on the native crossbar cores only",
+                    cfg.arbiter.name()
+                ));
+            }
+            if cfg.policy != SchedPolicy::ShortestFirst {
+                return Err(format!(
+                    "the {} arbiter requires the shortest-first ring policy: only under it is \
+                     every injective matching simultaneously routable",
+                    cfg.arbiter.name()
+                ));
+            }
+        }
         let cs = Arc::new(if cfg.multicast || cfg.asm_crossbar {
             ConfigSpace::enumerate_multicast(cfg.policy)
         } else {
@@ -231,6 +268,7 @@ impl RawRouter {
                 cfg.verify_cycles,
                 cfg.compute_op,
                 cfg.queueing,
+                !cfg.arbiter.is_token(),
             );
             if cfg.debug_events {
                 ig.events = Some(Arc::clone(&events));
@@ -271,19 +309,31 @@ impl RawRouter {
                 machine.set_program(p.crossbar, Box::new(core));
                 // Statistics are not collected from the interpreted core;
                 // keep placeholder slots so indices line up.
-                let (_unused, xbs) =
-                    CrossbarProgram::new(port, &xb_code, token_seq.clone(), cfg.idx_cycles, true);
+                let (_unused, xbs) = CrossbarProgram::new(
+                    port,
+                    &xb_code,
+                    token_seq.clone(),
+                    cfg.idx_cycles,
+                    true,
+                    None,
+                );
                 xb_decisions.push(Arc::new(Mutex::new(Vec::new())));
                 xb_stats.push(xbs);
             } else {
                 let image = CrossbarProgram::table_image(&cs, i);
                 machine.write_tile_mem(p.crossbar, XBAR_TABLE_BASE as usize, &image);
+                // Each crossbar tile runs its own replica of the arbiter;
+                // identical bid vectors keep the replicas in lockstep
+                // (the raw-sched lockstep test), mirroring how the token
+                // counter is replicated rather than transmitted.
+                let sched = (!cfg.arbiter.is_token()).then(|| cfg.arbiter.build(NPORTS));
                 let (mut xb, xbs) = CrossbarProgram::new(
                     port,
                     &xb_code,
                     token_seq.clone(),
                     cfg.idx_cycles,
                     cfg.multicast,
+                    sched,
                 );
                 if cfg.debug_events {
                     xb.events = Some(Arc::clone(&events));
@@ -608,6 +658,64 @@ mod tests {
         .err()
         .expect("weighted token with asm crossbar must be rejected");
         assert!(e.contains("token"), "{e}");
+
+        // A non-token arbiter needs VOQ queueing, unicast traffic, the
+        // native crossbar cores, and the shortest-first ring policy.
+        let islip = raw_sched::SchedKind::Islip { iters: 4 };
+        let e = RawRouter::try_new(
+            RouterConfig {
+                arbiter: islip,
+                ..RouterConfig::default()
+            },
+            table(),
+        )
+        .err()
+        .expect("scheduler without VOQ must be rejected");
+        assert!(e.contains("VOQ"), "{e}");
+
+        let voq_base = RouterConfig {
+            arbiter: islip,
+            queueing: crate::programs::IngressQueueing::Voq,
+            cut_through: false,
+            ..RouterConfig::default()
+        };
+        let e = RawRouter::try_new(
+            RouterConfig {
+                multicast: true,
+                quantum_words: 16,
+                ..voq_base.clone()
+            },
+            table(),
+        )
+        .err()
+        .expect("scheduler with multicast must be rejected");
+        assert!(e.contains("multicast"), "{e}");
+
+        let e = RawRouter::try_new(
+            RouterConfig {
+                asm_crossbar: true,
+                quantum_words: 16,
+                ..voq_base.clone()
+            },
+            table(),
+        )
+        .err()
+        .expect("scheduler with asm crossbar must be rejected");
+        assert!(e.contains("native"), "{e}");
+
+        let e = RawRouter::try_new(
+            RouterConfig {
+                policy: SchedPolicy::CwFirst,
+                ..voq_base.clone()
+            },
+            table(),
+        )
+        .err()
+        .expect("scheduler with CwFirst must be rejected");
+        assert!(e.contains("shortest-first"), "{e}");
+
+        // And the valid scheduler configuration is accepted.
+        assert!(RawRouter::try_new(voq_base, table()).is_ok());
     }
 
     #[test]
